@@ -1,0 +1,114 @@
+(* Benchmark harness.
+
+   Part 1 reproduces every table and figure of the thesis's evaluation
+   (Ch 9): Fig 9.1 (scenario parameters), Fig 9.2 (clock cycles per run,
+   with the §9.3.1 summary ratios), Fig 9.3 (FPGA resources), plus the
+   ablation studies DESIGN.md indexes (E4 packing, E5 DMA crossover,
+   E8 arbitration scaling, E9 bursts).
+
+   Part 2 uses Bechamel to time the tool itself — the §10.1 claim that
+   Splice "can generate interconnects almost instantly" (E7) — with one
+   Test.make per evaluation artifact. *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: paper tables                                                *)
+(* ------------------------------------------------------------------ *)
+
+let part1 () = print_string (Splice.Tables.everything ())
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: Bechamel micro-benchmarks                                   *)
+(* ------------------------------------------------------------------ *)
+
+let timer_spec =
+  lazy
+    (Splice.Validate.of_string_exn
+       ~lookup_bus:Splice.Registry.lookup_caps Splice.Timer.spec_source)
+
+let bench_parse_validate =
+  Test.make ~name:"parse+validate (Fig 8.2 spec)"
+    (Staged.stage (fun () ->
+         ignore
+           (Splice.Validate.of_string ~lookup_bus:Splice.Registry.lookup_caps
+              Splice.Timer.spec_source)))
+
+let bench_generate =
+  Test.make ~name:"full project generation (Figs 8.3+8.7)"
+    (Staged.stage (fun () ->
+         ignore (Splice.Project.generate ~gen_date:"bench" (Lazy.force timer_spec))))
+
+let bench_fig_9_1 =
+  Test.make ~name:"Fig 9.1 scenario table"
+    (Staged.stage (fun () -> ignore (Splice.Interp_scenarios.fig_9_1_table ())))
+
+let bench_fig_9_2_one_run =
+  (* one complete cycle-accurate driver call (scenario 1, Splice PLB) — the
+     unit of measurement behind every Fig 9.2 cell *)
+  let host =
+    lazy (Splice.Interpolator.make_host Splice.Interpolator.Splice_plb_simple)
+  in
+  Test.make ~name:"Fig 9.2 cell (1 simulated driver call)"
+    (Staged.stage (fun () ->
+         ignore
+           (Splice.Interpolator.run (Lazy.force host)
+              (Splice.Interp_scenarios.by_id 1))))
+
+let bench_fig_9_3 =
+  Test.make ~name:"Fig 9.3 resource estimation (5 impls)"
+    (Staged.stage (fun () ->
+         List.iter
+           (fun i -> ignore (Splice.Interpolator.resource_usage i))
+           Splice.Interpolator.all_impls))
+
+let bench_stubgen =
+  Test.make ~name:"single stub generation (VHDL)"
+    (Staged.stage (fun () ->
+         let spec = Lazy.force timer_spec in
+         ignore (Splice.Stubgen.generate spec (List.hd spec.Splice.Spec.funcs))))
+
+let benchmarks =
+  [
+    bench_parse_validate;
+    bench_generate;
+    bench_stubgen;
+    bench_fig_9_1;
+    bench_fig_9_2_one_run;
+    bench_fig_9_3;
+  ]
+
+let run_bechamel () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  Printf.printf "\n== Tool-speed micro-benchmarks (E7, §10.1) ==\n\n";
+  Printf.printf "%-44s %14s\n" "benchmark" "time/run";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let results = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] ->
+              let pretty =
+                if est > 1e6 then Printf.sprintf "%8.3f ms" (est /. 1e6)
+                else if est > 1e3 then Printf.sprintf "%8.3f us" (est /. 1e3)
+                else Printf.sprintf "%8.1f ns" est
+              in
+              Printf.printf "%-44s %14s\n" name pretty
+          | _ -> Printf.printf "%-44s %14s\n" name "n/a")
+        results)
+    benchmarks
+
+let () =
+  part1 ();
+  run_bechamel ();
+  print_newline ();
+  print_endline
+    "All figures above correspond to the per-experiment index in DESIGN.md;";
+  print_endline "paper-vs-measured comparisons are recorded in EXPERIMENTS.md."

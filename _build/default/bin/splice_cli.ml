@@ -1,0 +1,225 @@
+(* splice — command-line front end.
+
+   splice check  SPEC           validate a specification
+   splice gen    SPEC [-o DIR]  generate the HDL + driver file set
+   splice plan   SPEC           show per-function transfer plans
+   splice buses                 list registered bus adapters
+   splice eval                  reproduce the Ch 9 evaluation tables *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load_spec path =
+  match
+    Splice.Validate.of_string ~lookup_bus:Splice.Registry.lookup_caps
+      (read_file path)
+  with
+  | Ok spec -> Ok spec
+  | Error issues ->
+      Error
+        (String.concat "\n"
+           (List.map
+              (fun i -> Format.asprintf "error: %a" Splice.Validate.pp_issue i)
+              issues))
+
+let spec_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"SPEC" ~doc:"Splice specification file (Ch 3 syntax).")
+
+(* ------------------------------------------------------------------ *)
+
+let check_cmd =
+  let run path =
+    match load_spec path with
+    | Ok spec ->
+        Format.printf "%a@." Splice.Spec.pp spec;
+        print_endline "specification OK";
+        0
+    | Error msg ->
+        prerr_endline msg;
+        1
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Validate a Splice specification.")
+    Term.(const run $ spec_arg)
+
+let gen_cmd =
+  let out =
+    Arg.(
+      value & opt string "."
+      & info [ "o"; "output" ] ~docv:"DIR"
+          ~doc:"Directory to place the device subdirectory in (§3.2.3).")
+  in
+  let force =
+    Arg.(
+      value & flag
+      & info [ "f"; "force" ]
+          ~doc:"Overwrite an existing device directory without asking.")
+  in
+  let linux =
+    Arg.(
+      value & flag
+      & info [ "linux" ]
+          ~doc:
+            "Also generate a Linux platform driver and userspace mmap shim \
+             (§10.2).")
+  in
+  let run path out force linux =
+    match load_spec path with
+    | Error msg ->
+        prerr_endline msg;
+        1
+    | Ok spec -> (
+        let project = Splice.Project.generate ~linux spec in
+        match Splice.Project.write_to ~force ~dir:out project with
+        | paths ->
+            List.iter print_endline paths;
+            Printf.printf "generated %d files\n" (List.length paths);
+            0
+        | exception Failure msg ->
+            prerr_endline msg;
+            1)
+  in
+  Cmd.v
+    (Cmd.info "gen"
+       ~doc:
+         "Generate the bus adapter, arbiter, user-logic stubs and software \
+          drivers for a specification (Figs 8.3/8.7).")
+    Term.(const run $ spec_arg $ out $ force $ linux)
+
+let plan_cmd =
+  let run path =
+    match load_spec path with
+    | Error msg ->
+        prerr_endline msg;
+        1
+    | Ok spec ->
+        List.iter
+          (fun (f : Splice.Spec.func) ->
+            (* implicit counts shown for a nominal value of 4 *)
+            let plan = Splice.Plan.make spec f ~values:(fun _ -> 4) in
+            Format.printf "%a@.@." Splice.Plan.pp plan)
+          spec.Splice.Spec.funcs;
+        0
+  in
+  Cmd.v
+    (Cmd.info "plan"
+       ~doc:
+         "Show the word-level transfer plan of every function (implicit \
+          counts assumed 4).")
+    Term.(const run $ spec_arg)
+
+let buses_cmd =
+  let run () =
+    List.iter
+      (fun name ->
+        match Splice.Registry.lookup_caps name with
+        | Some caps -> Format.printf "%a@." Splice.Bus_caps.pp caps
+        | None -> ())
+      (Splice.Registry.names ());
+    0
+  in
+  Cmd.v
+    (Cmd.info "buses" ~doc:"List the registered bus adapter libraries (§7.2).")
+    Term.(const run $ const ())
+
+let lint_cmd =
+  let run path =
+    match load_spec path with
+    | Error msg ->
+        prerr_endline msg;
+        1
+    | Ok spec ->
+        let project = Splice.Project.generate spec in
+        let bad = ref 0 in
+        List.iter
+          (fun (f : Splice.Project.file) ->
+            let issues =
+              if Filename.check_suffix f.path ".vhd" then
+                List.map
+                  (fun (i : Splice.Vhdl_lint.issue) ->
+                    Format.asprintf "%a" Splice.Vhdl_lint.pp_issue i)
+                  (Splice.Vhdl_lint.lint f.contents)
+              else if
+                Filename.check_suffix f.path ".c"
+                || Filename.check_suffix f.path ".h"
+              then
+                List.map
+                  (fun (i : Splice.C_lint.issue) ->
+                    Format.asprintf "%a" Splice.C_lint.pp_issue i)
+                  (Splice.C_lint.lint
+                     ~header:(Filename.check_suffix f.path ".h")
+                     f.contents)
+              else []
+            in
+            if issues = [] then Printf.printf "%-28s clean\n" f.path
+            else begin
+              bad := !bad + List.length issues;
+              List.iter (fun i -> Printf.printf "%-28s %s\n" f.path i) issues
+            end)
+          (Splice.Project.files project);
+        if !bad = 0 then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Generate a specification's project in memory and lint every HDL \
+          and C file.")
+    Term.(const run $ spec_arg)
+
+let markers_cmd =
+  let bus_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BUS" ~doc:"Bus adapter library to inspect.")
+  in
+  let run bus =
+    match Splice.Registry.find bus with
+    | None ->
+        Printf.eprintf "unknown bus %S\n" bus;
+        1
+    | Some (module B : Splice.Bus.S) ->
+        print_endline "template markers (standard set, Fig 7.1):";
+        List.iter
+          (fun m -> Printf.printf "  %%%s%%\n" m)
+          [ "COMP_NAME"; "BUS_WIDTH"; "FUNC_ID_WIDTH"; "BASE_ADDR"; "GEN_DATE"; "DMA_ENABLED" ];
+        print_endline "bus-specific markers (§7.1.2 marker loader):";
+        List.iter (fun (m, _) -> Printf.printf "  %%%s%%\n" m) B.extra_markers;
+        print_endline "markers referenced by the adapter template:";
+        List.iter
+          (fun m -> Printf.printf "  %%%s%%\n" m)
+          (Splice.Template.markers_in B.adapter_template);
+        0
+  in
+  Cmd.v
+    (Cmd.info "markers"
+       ~doc:
+         "List the template markers a bus adapter library defines and uses \
+          (Ch 7).")
+    Term.(const run $ bus_arg)
+
+let eval_cmd =
+  let run () =
+    print_string (Splice.Tables.everything ());
+    0
+  in
+  Cmd.v
+    (Cmd.info "eval"
+       ~doc:"Reproduce the Ch 9 evaluation (Figs 9.1-9.3 and the ablations).")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "splice" ~version:Splice.version
+      ~doc:"A standardized peripheral logic and interface creation engine."
+  in
+  exit (Cmd.eval' (Cmd.group info [ check_cmd; gen_cmd; plan_cmd; buses_cmd; markers_cmd; lint_cmd; eval_cmd ]))

@@ -1,0 +1,1 @@
+examples/custom_bus.ml: Int64 List Printf Splice String

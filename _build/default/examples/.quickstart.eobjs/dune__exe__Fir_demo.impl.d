@@ -1,0 +1,1 @@
+examples/fir_demo.ml: Int64 List Printf Splice String

@@ -1,0 +1,1 @@
+examples/portability.ml: Int64 List Printf Splice

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Int64 List Printf Splice String

@@ -1,0 +1,1 @@
+examples/scan_eagle.ml: Array Format Int64 List Printf Splice

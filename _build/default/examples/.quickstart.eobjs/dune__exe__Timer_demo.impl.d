@@ -1,0 +1,1 @@
+examples/timer_demo.ml: List Printf Splice

@@ -1,0 +1,1 @@
+examples/uav_interpolator.ml: Format List Printf Splice

@@ -1,0 +1,1 @@
+examples/waveforms.ml: Int64 List Printf Splice

@@ -1,0 +1,61 @@
+(* Bus independence, the central claim of the thesis: the SAME interface
+   declarations deployed across every supported interconnect by changing
+   only the %bus_type directive — identical functional results, different
+   cycle costs.
+
+   Run with:  dune exec examples/portability.exe *)
+
+let spec_src bus =
+  Printf.sprintf
+    {|%%device_name checksum
+%%bus_type %s
+%%bus_width 32
+%%base_address 0x80000000
+%%burst_support %b
+unsigned fletcher(unsigned n, unsigned*:n words);
+char parity(char*:8+ block);
+|}
+    bus
+    (* burst only where the interface provides it *)
+    (match bus with "plb" | "fcb" | "ahb" | "wishbone" | "avalon" -> true | _ -> false)
+
+let behaviors = function
+  | "fletcher" ->
+      Splice.Stub_model.behavior ~cycles:4 (fun inputs ->
+          let words = List.assoc "words" inputs in
+          let a, b =
+            List.fold_left
+              (fun (a, b) w ->
+                let a = Int64.rem (Int64.add a w) 65535L in
+                (a, Int64.rem (Int64.add b a) 65535L))
+              (0L, 0L) words
+          in
+          [ Int64.logor (Int64.shift_left b 16) a ])
+  | "parity" ->
+      Splice.Stub_model.behavior (fun inputs ->
+          let block = List.assoc "block" inputs in
+          [ List.fold_left Int64.logxor 0L block ])
+  | f -> failwith ("unknown function " ^ f)
+
+let () =
+  let data = List.init 12 (fun i -> Int64.of_int ((i * 37) land 0xffff)) in
+  let block = [ 0x11L; 0x22L; 0x33L; 0x44L; 0x55L; 0x66L; 0x77L; 0x88L ] in
+  Printf.printf "%-6s %18s %8s %14s %8s\n" "bus" "fletcher" "cycles" "parity"
+    "cycles";
+  List.iter
+    (fun bus ->
+      let spec =
+        Splice.Validate.of_string_exn ~lookup_bus:Splice.Registry.lookup_caps
+          (spec_src bus)
+      in
+      let host = Splice.Host.create spec ~behaviors in
+      let sum, c1 =
+        Splice.Host.call host ~func:"fletcher"
+          ~args:[ ("n", [ 12L ]); ("words", data) ]
+      in
+      let par, c2 =
+        Splice.Host.call host ~func:"parity" ~args:[ ("block", block) ]
+      in
+      Printf.printf "%-6s %18Lx %8d %14Lx %8d\n" bus (List.hd sum) c1
+        (List.hd par) c2)
+    (Splice.Registry.names ())

@@ -1,0 +1,36 @@
+(* The Ch 9 evaluation: the Scan Eagle UAV linear interpolator behind five
+   interface implementations, reproducing Figures 9.1, 9.2 and 9.3.
+
+   Run with:  dune exec examples/uav_interpolator.exe *)
+
+let () =
+  print_string (Splice.Interp_scenarios.fig_9_1_table ());
+  print_newline ();
+  let rows = Splice.Cycles.measure () in
+  print_string (Splice.Cycles.fig_9_2_table rows);
+  Format.printf "@.%a@.@." Splice.Cycles.pp_summary (Splice.Cycles.summarize rows);
+  let resources =
+    List.map
+      (fun i ->
+        (Splice.Interpolator.impl_name i, Splice.Interpolator.resource_usage i))
+      Splice.Interpolator.all_impls
+  in
+  print_string
+    (Splice.Resource_report.table
+       ~header:[ "Figure 9.3: FPGA Resources Consumed By Each Implementation" ]
+       ~rows:resources);
+  print_newline ();
+  (* per-scenario detail for one implementation, with the result checked
+     against the golden software model *)
+  print_endline "Splice FCB, per scenario (result checked against software):";
+  let host = Splice.Interpolator.make_host Splice.Interpolator.Splice_fcb in
+  List.iter
+    (fun s ->
+      let result, cycles = Splice.Interpolator.run host s in
+      let expected =
+        Splice.Interpolator.reference (Splice.Interp_scenarios.inputs s)
+      in
+      Printf.printf "  scenario %d: %Ld (expected %Ld) in %d cycles %s\n"
+        s.Splice.Interp_scenarios.id result expected cycles
+        (if result = expected then "OK" else "MISMATCH"))
+    Splice.Interp_scenarios.all

@@ -1,0 +1,1 @@
+lib/bits/bits.ml: Format Int64 List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/buses/apb.ml: Adapter_engine Bits Bus Bus_caps Component Int64 Kernel Printf Signal Spec Splice_bits Splice_sim Splice_sis Splice_syntax

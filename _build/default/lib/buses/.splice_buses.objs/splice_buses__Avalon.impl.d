@@ -1,0 +1,1 @@
+lib/buses/avalon.ml: Adapter_engine Bus Bus_caps Printf Spec Splice_syntax

@@ -1,0 +1,1 @@
+lib/buses/bus.ml: Adapter_engine Bus_caps Bus_port Kernel Sis_if Spec Splice_sim Splice_sis Splice_syntax

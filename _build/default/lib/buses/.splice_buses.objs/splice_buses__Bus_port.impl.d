@@ -1,0 +1,1 @@
+lib/buses/bus_port.ml: Bits Format List Splice_bits

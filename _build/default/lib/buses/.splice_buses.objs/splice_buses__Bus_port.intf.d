@@ -1,0 +1,1 @@
+lib/buses/bus_port.mli: Bits Format Splice_bits

@@ -1,0 +1,1 @@
+lib/buses/fcb.ml: Adapter_engine Bus Bus_caps Component Kernel Printf Signal Spec Splice_sim Splice_sis Splice_syntax

@@ -1,0 +1,1 @@
+lib/buses/plb.ml: Adapter_engine Bits Bus Bus_caps Component Kernel Printf Signal Sis_if Spec Splice_bits Splice_sim Splice_sis Splice_syntax

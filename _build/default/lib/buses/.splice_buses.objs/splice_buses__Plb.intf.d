@@ -1,0 +1,1 @@
+lib/buses/plb.mli: Bus Signal Splice_sim Splice_sis

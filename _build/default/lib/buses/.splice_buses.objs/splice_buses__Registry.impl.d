@@ -1,0 +1,1 @@
+lib/buses/registry.ml: Ahb Apb Avalon Bus Fcb List Opb Option Plb Printf Wishbone

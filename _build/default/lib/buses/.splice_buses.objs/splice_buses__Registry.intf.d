@@ -1,0 +1,1 @@
+lib/buses/registry.mli: Bus Splice_syntax

@@ -1,0 +1,1 @@
+lib/buses/wishbone.ml: Adapter_engine Bus Bus_caps Printf Spec Splice_syntax

@@ -1,0 +1,262 @@
+open Splice_sim
+open Splice_sis
+open Splice_bits
+
+type config = {
+  name : string;
+  setup_cycles : int;
+  write_word_gap : int;
+  read_word_gap : int;
+  teardown_cycles : int;
+  strictly_sync : bool;
+  dma_setup_transactions : int;
+}
+
+(* [phase] describes what is visible on the SIS lines *during* the current
+   cycle; transitions (set_next) program what the next cycle will show. *)
+type phase =
+  | Idle
+  | Setup of int
+  | Writing of Bits.t list  (* head is the word currently presented *)
+  | WGap of int * Bits.t list
+  | ReadPending of int  (* words still to collect, current one requested *)
+  | RGap of int * int  (* gap cycles left, words remaining *)
+  | SyncSample of int
+  | StatusSample
+  | Teardown of int
+
+type t = {
+  cfg : config;
+  sis : Sis_if.t;
+  mutable phase : phase;
+  mutable req : Bus_port.req option;  (* submitted, not yet started *)
+  mutable active : Bus_port.req option;  (* being executed *)
+  mutable collected : Bits.t list;  (* reversed *)
+  mutable busy_flag : bool;
+  mutable reset_req : bool;
+  mutable gap_w : int;
+  mutable gap_r : int;
+  mutable prev_calc : Bits.t option;
+  mutable irq_flag : bool;
+      (* completion-interrupt latch (§10.2): set on any CALC_DONE rising
+         edge, cleared when a status-register read acknowledges it *)
+  mutable comp : Component.t;
+}
+
+let deassert t =
+  Signal.set_next_bool t.sis.Sis_if.data_in_valid false;
+  Signal.set_next_bool t.sis.Sis_if.io_enable false;
+  Signal.set_next t.sis.Sis_if.data_in (Bits.zero (Signal.width t.sis.Sis_if.data_in))
+
+let end_transaction t =
+  deassert t;
+  t.active <- None;
+  if t.cfg.teardown_cycles > 0 then t.phase <- Teardown t.cfg.teardown_cycles
+  else begin
+    t.phase <- Idle;
+    t.busy_flag <- false
+  end
+
+let set_func_id t id = Signal.set_next_int t.sis.Sis_if.func_id id
+
+let present_write t word =
+  Signal.set_next t.sis.Sis_if.data_in word;
+  Signal.set_next_bool t.sis.Sis_if.data_in_valid true;
+  Signal.set_next_bool t.sis.Sis_if.io_enable true
+
+let strobe_read t =
+  Signal.set_next_bool t.sis.Sis_if.data_in_valid false;
+  Signal.set_next_bool t.sis.Sis_if.io_enable true
+
+let begin_request t req =
+  t.active <- Some req;
+  t.collected <- [];
+  let dma = match req with Bus_port.Dma_write _ | Bus_port.Dma_read _ -> true | _ -> false in
+  (* a DMA transfer is programmed with [dma_setup_transactions] ordinary bus
+     transactions before the engine streams data without CPU involvement *)
+  let setup =
+    (* each DMA programming step is a full bus transaction (arbitration,
+       address, data word, release); once programmed, the DMA engine owns
+       the bus and needs no further address phase (§9.2.1) *)
+    if dma then
+      t.cfg.dma_setup_transactions * (t.cfg.setup_cycles + t.cfg.teardown_cycles + 3)
+    else t.cfg.setup_cycles
+  in
+  t.gap_w <- (if dma then 0 else t.cfg.write_word_gap);
+  t.gap_r <- (if dma then 0 else t.cfg.read_word_gap);
+  let fid =
+    match req with
+    | Bus_port.Write { func_id; _ }
+    | Bus_port.Read { func_id; _ }
+    | Bus_port.Dma_write { func_id; _ }
+    | Bus_port.Dma_read { func_id; _ } -> func_id
+  in
+  set_func_id t fid;
+  if setup > 0 then t.phase <- Setup setup
+  else t.phase <- Setup 1 (* at least one cycle to register the address phase *)
+
+let start_transfer t =
+  match t.active with
+  | None -> assert false
+  | Some (Bus_port.Write { data; _ } | Bus_port.Dma_write { data; _ }) -> (
+      match data with
+      | [] -> end_transaction t
+      | w :: _ ->
+          present_write t w;
+          t.phase <- Writing data)
+  | Some (Bus_port.Read { func_id = 0; words = _ }) ->
+      (* the adapter itself serves the status register (§4.2.2) *)
+      t.phase <- StatusSample
+  | Some (Bus_port.Read { words; _ } | Bus_port.Dma_read { words; _ }) ->
+      if words = 0 then end_transaction t
+      else begin
+        strobe_read t;
+        t.phase <- (if t.cfg.strictly_sync then SyncSample words else ReadPending words)
+      end
+
+let collect t word = t.collected <- word :: t.collected
+
+let next_write_word t rest =
+  match rest with
+  | [] -> end_transaction t
+  | w :: _ ->
+      if t.gap_w > 0 then begin
+        deassert t;
+        t.phase <- WGap (t.gap_w, rest)
+      end
+      else begin
+        present_write t w;
+        t.phase <- Writing rest
+      end
+
+let next_read_word t remaining =
+  if remaining = 0 then end_transaction t
+  else if t.gap_r > 0 then begin
+    Signal.set_next_bool t.sis.Sis_if.io_enable false;
+    t.phase <- RGap (t.gap_r, remaining)
+  end
+  else begin
+    strobe_read t;
+    t.phase <- (if t.cfg.strictly_sync then SyncSample remaining else ReadPending remaining)
+  end
+
+let track_irq t =
+  let cur = Signal.get t.sis.Sis_if.calc_done in
+  (match t.prev_calc with
+  | Some prev ->
+      let rising = Bits.logand cur (Bits.lognot prev) in
+      if not (Bits.is_zero rising) then t.irq_flag <- true
+  | None -> ());
+  t.prev_calc <- Some cur
+
+let seq t () =
+  track_irq t;
+  if t.reset_req then begin
+    t.reset_req <- false;
+    Signal.set_next_bool t.sis.Sis_if.rst true
+  end
+  else if Signal.get_bool t.sis.Sis_if.rst then
+    Signal.set_next_bool t.sis.Sis_if.rst false;
+  match t.phase with
+  | Idle -> (
+      match t.req with
+      | Some req ->
+          t.req <- None;
+          begin_request t req
+      | None -> ())
+  | Setup n -> if n <= 1 then start_transfer t else t.phase <- Setup (n - 1)
+  | Writing words -> (
+      if Signal.get_bool t.sis.Sis_if.io_done then
+        match words with
+        | [] -> assert false
+        | _ :: rest -> next_write_word t rest
+      else
+        (* stub stalled: hold data/valid static, strobe was one cycle only *)
+        Signal.set_next_bool t.sis.Sis_if.io_enable false)
+  | WGap (n, words) ->
+      if n <= 1 then (
+        match words with
+        | [] -> assert false
+        | w :: _ ->
+            present_write t w;
+            t.phase <- Writing words)
+      else t.phase <- WGap (n - 1, words)
+  | ReadPending remaining ->
+      if Signal.get_bool t.sis.Sis_if.data_out_valid then begin
+        collect t (Signal.get t.sis.Sis_if.data_out);
+        Signal.set_next_bool t.sis.Sis_if.io_enable false;
+        next_read_word t (remaining - 1)
+      end
+      else
+        (* delayed read (Fig 4.3): keep FUNC_ID static, drop the strobe *)
+        Signal.set_next_bool t.sis.Sis_if.io_enable false
+  | RGap (n, remaining) ->
+      (* gap cycles between read words; re-strobe when done *)
+      if n <= 1 then begin
+        strobe_read t;
+        t.phase <-
+          (if t.cfg.strictly_sync then SyncSample remaining else ReadPending remaining)
+      end
+      else t.phase <- RGap (n - 1, remaining)
+  | SyncSample remaining ->
+      (* strictly synchronous: sample this very cycle, ready or not (§4.2.2) *)
+      collect t (Signal.get t.sis.Sis_if.data_out);
+      Signal.set_next_bool t.sis.Sis_if.io_enable false;
+      next_read_word t (remaining - 1)
+  | StatusSample ->
+      let v = Signal.get t.sis.Sis_if.calc_done in
+      collect t (Bits.resize v (Signal.width t.sis.Sis_if.data_in));
+      t.irq_flag <- false (* reading the status register acks the IRQ *);
+      end_transaction t
+  | Teardown n ->
+      if n <= 1 then begin
+        t.phase <- Idle;
+        t.busy_flag <- false
+      end
+      else t.phase <- Teardown (n - 1)
+
+let make cfg sis =
+  let t =
+    {
+      cfg;
+      sis;
+      phase = Idle;
+      req = None;
+      active = None;
+      collected = [];
+      busy_flag = false;
+      reset_req = false;
+      gap_w = cfg.write_word_gap;
+      gap_r = cfg.read_word_gap;
+      prev_calc = None;
+      irq_flag = false;
+      comp = Component.make "engine";
+    }
+  in
+  t.comp <- Component.make ~seq:(seq t) ("adapter:" ^ cfg.name);
+  t
+
+let component t = t.comp
+let busy t = t.busy_flag
+let config t = t.cfg
+let irq_pending t = t.irq_flag
+
+let port t ~wait_mode ~max_burst_words ~supports_dma =
+  {
+    Bus_port.bus_name = t.cfg.name;
+    submit =
+      (fun req ->
+        if t.busy_flag then
+          failwith
+            (Printf.sprintf "bus %s: submit while busy (%s)" t.cfg.name
+               (Format.asprintf "%a" Bus_port.pp_req req));
+        t.busy_flag <- true;
+        t.req <- Some req);
+    busy = (fun () -> t.busy_flag);
+    result = (fun () -> List.rev t.collected);
+    pulse_reset = (fun () -> t.reset_req <- true);
+    irq_pending = (fun () -> t.irq_flag);
+    wait_mode;
+    max_burst_words;
+    supports_dma;
+  }

@@ -1,0 +1,51 @@
+(** The interface every supported bus provides — the OCaml rendering of the
+    "native bus adapter library" of Ch 7. A bus contributes:
+
+    - {b capabilities} the validator checks specs against (§3.2);
+    - an {b engine configuration} giving its cycle-accurate protocol costs;
+    - an {b HDL adapter template} with [%MARKER%] macros, consumed by
+      [Codegen.Busgen] (§5.1, §7.1.1) plus any bus-specific markers
+      (§7.1.2 "marker loader routine");
+    - a {b driver macro header} — the [splice_lib.h] of Fig 8.7 — defining
+      the transaction macros of Fig 7.2 (§7.1.3);
+    - a {b connect} function instantiating the simulation model. *)
+
+open Splice_sim
+open Splice_sis
+open Splice_syntax
+
+module type S = sig
+  val caps : Bus_caps.t
+  val engine_config : Adapter_engine.config
+
+  val wait_mode : [ `Null | `Poll ]
+  (** [`Poll] for strictly synchronous interfaces (§6.1.1). *)
+
+  val adapter_template : string
+  (** VHDL template for the native interface adapter. *)
+
+  val extra_markers : (string * (Spec.t -> string)) list
+  (** Bus-specific template markers beyond the standard set of Fig 7.1. *)
+
+  val driver_header : Spec.t -> string
+  (** Contents of this bus's [splice_lib.h]. *)
+
+  val check_params : Spec.t -> (unit, string list) result
+  (** The bus's own "parameter checking routine" (§7.1.2), run in addition
+      to the capability checks derived from [caps]. *)
+
+  val connect : Kernel.t -> Spec.t -> Sis_if.t -> Bus_port.t
+end
+
+val connect_with_engine :
+  Adapter_engine.config ->
+  Bus_caps.t ->
+  [ `Null | `Poll ] ->
+  Kernel.t ->
+  Spec.t ->
+  Sis_if.t ->
+  Bus_port.t
+(** Shared [connect] implementation: builds an {!Adapter_engine}, registers
+    its component, returns the port. *)
+
+val name : (module S) -> string

@@ -1,0 +1,37 @@
+(** IBM CoreConnect Processor Local Bus (§2.3.2, §4.3).
+
+    Pseudo-asynchronous, memory-mapped, 32/64-bit, burst-capable, with DMA
+    transfers of up to 256 bytes. The worked adaptation example of §4.3:
+    [RD_REQ]/[WR_REQ] map to [IO_ENABLE], the one-hot [RD_CE]/[WR_CE] map to
+    the binary [FUNC_ID], [RD_ACK]/[WR_ACK] to [IO_DONE]/[DATA_OUT_VALID].
+
+    DMA programming costs 4 bus transactions, so DMA only pays off for
+    transfers of more than four words (§9.2.1). *)
+
+include Bus.S
+
+(** Native PLB signal bundle (Figs 4.5/4.6), driven by {!native_mirror}. *)
+module Native : sig
+  open Splice_sim
+
+  type t = {
+    rd_req : Signal.t;
+    wr_req : Signal.t;
+    rd_ce : Signal.t;  (** one-hot chip enables *)
+    wr_ce : Signal.t;
+    be : Signal.t;  (** byte enables, all-ones during transfers *)
+    rd_ack : Signal.t;
+    wr_ack : Signal.t;
+    data_in : Signal.t;
+    data_out : Signal.t;
+  }
+
+  val signals : t -> Signal.t list
+end
+
+val native_mirror :
+  Splice_sim.Kernel.t -> ce_slots:int -> Splice_sis.Sis_if.t -> Native.t
+(** Attach a combinational component that renders the SIS traffic as native
+    PLB signalling — the adaptation of Figs 4.7/4.8 run in reverse, used by
+    the protocol-equivalence tests. [ce_slots] is the number of chip-enable
+    lines (one per function id, including the status slot 0). *)

@@ -1,0 +1,27 @@
+let builtins : (module Bus.S) list =
+  [
+    (module Plb); (module Opb); (module Fcb); (module Apb); (module Ahb);
+    (module Wishbone); (module Avalon);
+  ]
+
+let user : (module Bus.S) list ref = ref []
+
+let find name =
+  let matches (module B : Bus.S) = Bus.name (module B) = name in
+  match List.find_opt matches !user with
+  | Some b -> Some b
+  | None -> List.find_opt matches builtins
+
+let register (module B : Bus.S) =
+  let name = Bus.name (module B) in
+  if find name <> None then
+    failwith (Printf.sprintf "Registry.register: bus %S already registered" name);
+  user := (module B : Bus.S) :: !user
+
+let unregister name =
+  user := List.filter (fun (module B : Bus.S) -> Bus.name (module B) <> name) !user
+
+let names () = List.map Bus.name (!user @ builtins)
+
+let lookup_caps name =
+  Option.map (fun (module B : Bus.S) -> B.caps) (find name)

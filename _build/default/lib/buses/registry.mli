@@ -1,0 +1,19 @@
+(** Bus adapter library registry — the OCaml rendering of §7.2's
+    ["lib\[x\]_interface.so"] dynamic-library loading: built-in adapters for
+    the PLB, OPB, FCB and APB (§3.2.1), plus the AHB, Wishbone and Avalon
+    interfaces the thesis names as future work (§10.2), and a [register]
+    hook for user-supplied adapters built with the API of Ch 7. *)
+
+val builtins : (module Bus.S) list
+
+val register : (module Bus.S) -> unit
+(** Raises [Failure] when the name collides with an existing bus. *)
+
+val unregister : string -> unit
+(** Remove a user-registered bus (built-ins cannot be removed). *)
+
+val find : string -> (module Bus.S) option
+val names : unit -> string list
+
+val lookup_caps : string -> Splice_syntax.Bus_caps.t option
+(** The [lookup_bus] function to pass to {!Splice_syntax.Validate.build}. *)

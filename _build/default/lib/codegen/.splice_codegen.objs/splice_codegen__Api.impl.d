@@ -1,0 +1,1 @@
+lib/codegen/api.ml: Adapter_engine Bus Bus_caps Registry Spec Splice_buses Splice_syntax

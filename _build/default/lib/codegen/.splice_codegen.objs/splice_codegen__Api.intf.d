@@ -1,0 +1,1 @@
+lib/codegen/api.mli: Bus_caps Spec Splice_buses Splice_syntax

@@ -1,0 +1,1 @@
+lib/codegen/arbitergen.ml: Ast Hdl_ast List Printf Spec Splice_hdl Splice_syntax String Verilog Vhdl

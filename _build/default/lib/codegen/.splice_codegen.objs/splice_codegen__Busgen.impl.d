@@ -1,0 +1,1 @@
+lib/codegen/busgen.ml: Bus Bus_caps Error List Macro Option Printf Spec Splice_buses Splice_hdl Splice_syntax Template

@@ -1,0 +1,1 @@
+lib/codegen/busgen.mli: Spec Splice_buses Splice_syntax

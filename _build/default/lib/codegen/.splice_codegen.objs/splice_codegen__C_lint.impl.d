@@ -1,0 +1,1 @@
+lib/codegen/c_lint.ml: Format List Printf Splice_hdl String

@@ -1,0 +1,1 @@
+lib/codegen/drivergen.ml: Ast Buffer Ctype List Plan Printf Spec Splice_sis Splice_syntax String

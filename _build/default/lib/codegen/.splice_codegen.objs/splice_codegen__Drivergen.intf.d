@@ -1,0 +1,1 @@
+lib/codegen/drivergen.mli: Spec Splice_syntax

@@ -1,0 +1,1 @@
+lib/codegen/linuxgen.ml: Bus_caps Error Printf Spec Splice_buses Splice_hdl Splice_syntax String Template

@@ -1,0 +1,1 @@
+lib/codegen/linuxgen.mli: Spec Splice_syntax

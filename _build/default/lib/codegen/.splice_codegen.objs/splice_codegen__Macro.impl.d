@@ -1,0 +1,1 @@
+lib/codegen/macro.ml: Arbitergen Hdl_ast List Printf Spec Splice_hdl Splice_syntax String Stubgen Unix Vhdl

@@ -1,0 +1,1 @@
+lib/codegen/macro.mli: Spec Splice_syntax

@@ -1,0 +1,1 @@
+lib/codegen/project.ml: Arbitergen Bus Busgen Drivergen Error Filename Linuxgen List Printf Registry Spec Splice_buses Splice_syntax Stubgen Sys Validate

@@ -1,0 +1,1 @@
+lib/codegen/project.mli: Spec Splice_syntax

@@ -1,0 +1,1 @@
+lib/codegen/stubgen.ml: Ast Ctype Hdl_ast List Plan Printf Spec Splice_hdl Splice_sis Splice_syntax Verilog Vhdl

@@ -1,0 +1,1 @@
+lib/codegen/stubgen.mli: Hdl_ast Spec Splice_hdl Splice_syntax

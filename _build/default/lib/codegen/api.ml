@@ -1,0 +1,32 @@
+open Splice_syntax
+open Splice_buses
+
+type adapter_library = {
+  lib_name : string;
+  caps : Bus_caps.t;
+  engine_config : Adapter_engine.config;
+  wait_mode : [ `Null | `Poll ];
+  check_params : Spec.t -> (unit, string list) result;
+  marker_loader : (string * (Spec.t -> string)) list;
+  adapter_template : string;
+  driver_header : Spec.t -> string;
+}
+
+let to_bus lib : (module Bus.S) =
+  let caps = { lib.caps with Bus_caps.name = lib.lib_name } in
+  let module B = struct
+    let caps = caps
+    let engine_config = { lib.engine_config with Adapter_engine.name = lib.lib_name }
+    let wait_mode = lib.wait_mode
+    let adapter_template = lib.adapter_template
+
+    let extra_markers = lib.marker_loader
+    let driver_header = lib.driver_header
+    let check_params = lib.check_params
+    let connect = Bus.connect_with_engine engine_config caps wait_mode
+  end in
+  (module B)
+
+let install lib = Registry.register (to_bus lib)
+
+let uninstall = Registry.unregister

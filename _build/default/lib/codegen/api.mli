@@ -1,0 +1,28 @@
+(** The Splice interface API of Ch 7, for creating native bus adapters
+    without touching Splice's internals. A user builds an
+    {!adapter_library} — the parameter checker, marker loader and template
+    of §7.1.1–7.1.2 plus the driver-macro header of §7.1.3 — and
+    {!install}s it; the bus then becomes a legal [%bus_type] target exactly
+    as a ["lib<x>_interface.so"] would (§7.2). *)
+
+open Splice_syntax
+
+type adapter_library = {
+  lib_name : string;  (** the [x] of ["lib<x>_interface.so"] *)
+  caps : Bus_caps.t;
+  engine_config : Splice_buses.Adapter_engine.config;
+  wait_mode : [ `Null | `Poll ];
+  check_params : Spec.t -> (unit, string list) result;
+      (** §7.1.2 "parameter checking routine"; combined with the built-in
+          capability checks *)
+  marker_loader : (string * (Spec.t -> string)) list;
+      (** §7.1.2 "marker loader routine": bus-specific template markers *)
+  adapter_template : string;
+  driver_header : Spec.t -> string;
+}
+
+val to_bus : adapter_library -> (module Splice_buses.Bus.S)
+val install : adapter_library -> unit
+(** Register with the bus registry; raises [Failure] on name collisions. *)
+
+val uninstall : string -> unit

@@ -1,0 +1,17 @@
+(** Bus interface generation (§5.1): expand the target bus's annotated HDL
+    template with the standard macros (Fig 7.1), the per-device arbiter
+    macros, and the bus's own markers (§7.1.2). *)
+
+open Splice_syntax
+
+val generate :
+  ?gen_date:string -> (module Splice_buses.Bus.S) -> Spec.t -> string
+
+val file_name : Spec.t -> string
+(** [<bus>_interface.vhd] (Fig 8.3). Adapter templates are VHDL regardless
+    of [%target_hdl] — a Verilog-targeted project mixes languages, as every
+    FPGA toolchain supports. *)
+
+val check_params : (module Splice_buses.Bus.S) -> Spec.t -> (unit, string list) result
+(** The "parameter checking routine" of §7.1.2: verify the spec only uses
+    features the bus supports. *)

@@ -1,0 +1,85 @@
+type issue = { line : int; message : string }
+
+let pp_issue fmt i = Format.fprintf fmt "line %d: %s" i.line i.message
+
+let lint ?(header = false) src =
+  let issues = ref [] in
+  let problem line fmt =
+    Printf.ksprintf (fun message -> issues := { line; message } :: !issues) fmt
+  in
+  let n = String.length src in
+  let line = ref 1 in
+  let stack = ref [] in
+  let push c = stack := (c, !line) :: !stack in
+  let pop expected close =
+    match !stack with
+    | (c, _) :: rest when c = expected -> stack := rest
+    | (c, l) :: _ ->
+        problem !line "%c closes %c opened at line %d" close c l;
+        stack := List.tl !stack
+    | [] -> problem !line "unmatched %c" close
+  in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    (match c with
+    | '\n' -> incr line
+    | '/' when !i + 1 < n && src.[!i + 1] = '/' ->
+        while !i < n && src.[!i] <> '\n' do
+          incr i
+        done;
+        decr i (* the newline is processed on the next loop step *)
+    | '/' when !i + 1 < n && src.[!i + 1] = '*' ->
+        i := !i + 2;
+        let closed = ref false in
+        while (not !closed) && !i < n do
+          if src.[!i] = '\n' then incr line;
+          if !i + 1 < n && src.[!i] = '*' && src.[!i + 1] = '/' then begin
+            closed := true;
+            incr i
+          end;
+          incr i
+        done;
+        if not !closed then problem !line "unterminated block comment";
+        decr i
+    | '"' ->
+        incr i;
+        let closed = ref false in
+        while (not !closed) && !i < n do
+          if src.[!i] = '\\' then i := !i + 2
+          else if src.[!i] = '"' then closed := true
+          else begin
+            if src.[!i] = '\n' then incr line;
+            incr i
+          end
+        done;
+        if not !closed then problem !line "unterminated string literal"
+    | '\'' ->
+        (* character constant: 'x' or '\x' *)
+        if !i + 2 < n && src.[!i + 1] = '\\' then i := !i + 3
+        else if !i + 2 < n && src.[!i + 2] = '\'' then i := !i + 2
+    | '{' | '(' | '[' -> push c
+    | '}' -> pop '{' c
+    | ')' -> pop '(' c
+    | ']' -> pop '[' c
+    | _ -> ());
+    incr i
+  done;
+  List.iter (fun (c, l) -> problem l "unclosed %c" c) !stack;
+  (* unexpanded template markers *)
+  List.iter
+    (fun m -> problem 0 "unexpanded marker %%%s%%" m)
+    (Splice_hdl.Template.markers_in src);
+  (if header then
+     let contains hay needle =
+       let nl = String.length needle and hl = String.length hay in
+       let rec go i =
+         if i + nl > hl then false
+         else if String.sub hay i nl = needle then true
+         else go (i + 1)
+       in
+       go 0
+     in
+     if not (contains src "#ifndef" && contains src "#define" && contains src "#endif")
+     then problem 0 "header lacks an include guard");
+  List.rev !issues

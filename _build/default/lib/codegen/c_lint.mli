@@ -1,0 +1,12 @@
+(** Sanity checks on generated C sources — the stand-in for compiling the
+    drivers with GCC as the thesis's users would (DESIGN.md substitutions).
+    Checks: balanced braces/parentheses/brackets (outside strings, character
+    constants and comments, with preprocessor line continuations handled),
+    include guards on headers, and no unexpanded [%MARKER%] symbols. *)
+
+type issue = { line : int; message : string }
+
+val lint : ?header:bool -> string -> issue list
+(** [header] enables the include-guard check. *)
+
+val pp_issue : Format.formatter -> issue -> unit

@@ -1,0 +1,22 @@
+(** Linux-targeted driver generation — the §10.2 future-work item
+    ("producing driver code pre-targeted to the Linux operating system ...
+    could be added through simple physical-to-virtual memory mapping
+    macros"), implemented.
+
+    For memory-mapped buses this emits:
+    - a kernel platform driver ([<device>_linux.c]) that ioremaps the
+      device's register window, exposes it through a misc character device
+      with mmap, and (when [%interrupt_support]) registers an IRQ handler;
+    - a userspace shim ([splice_linux.h]) that mmaps the character device
+      and redefines SET_ADDRESS over the virtual base, so the generated
+      drivers of Ch 6 work unmodified from user space.
+
+    Raises [Error.Splice_error] for non-memory-mapped buses (the FCB's
+    co-processor opcodes are inherently privileged, §2.3.2). *)
+
+open Splice_syntax
+
+val kernel_module : Spec.t -> string
+val userspace_header : Spec.t -> string
+val files : Spec.t -> (string * string) list
+(** [(path, contents)] pairs; empty check raises as described above. *)

@@ -1,0 +1,100 @@
+open Splice_syntax
+open Splice_hdl
+
+let base_addr_literal (spec : Spec.t) =
+  match spec.Spec.base_address with
+  | Some a -> Printf.sprintf "x\"%08Lx\"" a
+  | None -> "x\"00000000\""
+
+let default_gen_date () =
+  let t = Unix.localtime (Unix.time ()) in
+  Printf.sprintf "%04d-%02d-%02d %02d:%02d" (t.Unix.tm_year + 1900)
+    (t.Unix.tm_mon + 1) t.Unix.tm_mday t.Unix.tm_hour t.Unix.tm_min
+
+let standard ?gen_date (spec : Spec.t) =
+  let date = match gen_date with Some d -> d | None -> default_gen_date () in
+  [
+    ("COMP_NAME", spec.Spec.device_name);
+    ("BUS_WIDTH", string_of_int spec.Spec.bus_width);
+    ("FUNC_ID_WIDTH", string_of_int spec.Spec.func_id_width);
+    ("BASE_ADDR", base_addr_literal spec);
+    ("GEN_DATE", date);
+    ("DMA_ENABLED", if spec.Spec.dma then "true" else "false");
+  ]
+
+(* Reuse the VHDL printer by rendering a throwaway design around the snippet
+   and slicing out the architecture body. *)
+let render_concurrent c =
+  let d =
+    {
+      Hdl_ast.header = [];
+      name = "snippet";
+      generics = [];
+      ports = [];
+      constants = [];
+      signals = [];
+      body = [ c ];
+    }
+  in
+  let full = Vhdl.to_string d in
+  let find_from start needle =
+    let nl = String.length needle and fl = String.length full in
+    let rec go i =
+      if i + nl > fl then None
+      else if String.sub full i nl = needle then Some i
+      else go (i + 1)
+    in
+    go start
+  in
+  let b =
+    match find_from 0 "\nbegin\n" with
+    | Some i -> i + String.length "\nbegin\n"
+    | None -> 0
+  in
+  let e = match find_from b "end architecture" with Some i -> i | None -> String.length full in
+  String.sub full b (e - b)
+
+let render_process p = render_concurrent (Hdl_ast.Proc p)
+
+let for_function (spec : Spec.t) (f : Spec.func) =
+  let consts =
+    Stubgen.stub_constants spec f
+    |> List.map (fun (c : Hdl_ast.constant_decl) ->
+           match c.const_width with
+           | Some w ->
+               Printf.sprintf "  constant %s : std_logic_vector(%d downto 0) := %s;"
+                 c.const_name (w - 1)
+                 (Vhdl.expr (Hdl_ast.Lit (c.const_value, w)))
+           | None -> Printf.sprintf "  constant %s : integer := %d;" c.const_name c.const_value)
+    |> String.concat "\n"
+  in
+  let signals =
+    Stubgen.stub_signals spec f
+    |> List.map (fun (s : Hdl_ast.signal_decl) ->
+           Printf.sprintf "  signal %s : %s;" s.sig_name
+             (if s.sig_width = 1 then "std_logic"
+              else Printf.sprintf "std_logic_vector(%d downto 0)" (s.sig_width - 1)))
+    |> String.concat "\n"
+  in
+  [
+    ("FUNC_NAME", f.Spec.name);
+    ("MY_FUNC_ID", string_of_int f.Spec.func_id);
+    ("FUNC_INSTS", string_of_int f.Spec.instances);
+    ("FUNC_CONSTS", consts);
+    ("FUNC_SIGNALS", signals);
+    ("FUNC_FSM", render_process (Stubgen.fsm_process spec f));
+    ("FUNC_STUB", render_process (Stubgen.stub_process spec f));
+  ]
+
+let arbiter_macros (spec : Spec.t) =
+  [
+    ( "DATA_OUT_MUX",
+      render_concurrent (Arbitergen.mux_assign spec ~port:"DATA_OUT" ~stub_port:"data_out")
+    );
+    ( "DATA_OUT_V_MUX",
+      render_concurrent
+        (Arbitergen.mux_assign spec ~port:"DATA_OUT_VALID" ~stub_port:"data_out_valid") );
+    ( "IO_DONE_MUX",
+      render_concurrent (Arbitergen.mux_assign spec ~port:"IO_DONE" ~stub_port:"io_done") );
+    ("CALC_DONE_ENCODE", render_concurrent (Arbitergen.calc_done_encode spec));
+  ]

@@ -1,0 +1,1 @@
+lib/devices/fir.ml: Array Host Int64 List Spec Splice_buses Splice_driver Splice_sis Splice_syntax Stub_model Validate

@@ -1,0 +1,1 @@
+lib/devices/fir.mli: Host Spec Splice_driver Splice_syntax

@@ -1,0 +1,1 @@
+lib/devices/handcoded.ml: Adapter_engine Bus Fcb Plb Splice_buses

@@ -1,0 +1,1 @@
+lib/devices/handcoded.mli: Splice_buses

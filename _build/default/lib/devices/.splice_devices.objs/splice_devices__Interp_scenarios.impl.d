@@ -1,0 +1,1 @@
+lib/devices/interp_scenarios.ml: Buffer Int64 List Printf

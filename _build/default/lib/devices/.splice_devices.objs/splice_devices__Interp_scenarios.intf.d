@@ -1,0 +1,1 @@
+lib/devices/interp_scenarios.mli:

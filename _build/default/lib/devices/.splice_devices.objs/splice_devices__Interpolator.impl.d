@@ -1,0 +1,1 @@
+lib/devices/interpolator.ml: Array Handcoded Host Int64 Interp_scenarios List Printf Splice_buses Splice_driver Splice_resources Splice_sis Splice_syntax Stub_model Validate

@@ -1,0 +1,1 @@
+lib/devices/timer.ml: Component Host Int64 Kernel List Printf Spec Splice_buses Splice_driver Splice_sim Splice_sis Splice_syntax Stub_model Validate

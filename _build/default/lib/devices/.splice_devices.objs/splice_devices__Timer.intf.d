@@ -1,0 +1,1 @@
+lib/devices/timer.mli: Host Spec Splice_driver Splice_syntax

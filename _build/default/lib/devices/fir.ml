@@ -1,0 +1,129 @@
+open Splice_sis
+open Splice_driver
+open Splice_syntax
+
+let spec_source =
+  {|// FIR filter peripheral: two independent hardware channels
+%device_name fir
+%target_hdl vhdl
+%bus_type plb
+%bus_width 32
+%base_address 0x80008000
+%burst_support true
+
+// load the coefficient registers of one channel
+void set_taps(int n, int*:n taps):2;
+// convolve a sample block, return the final output value
+int filter(int n, int*:n samples):2;
+// convolve and return every k-th output (decimation)
+int*:m decimate(int m, int k, int n, int*:n samples):2;
+|}
+
+let spec ?(bus = "plb") () =
+  let s =
+    Validate.of_string_exn ~lookup_bus:Splice_buses.Registry.lookup_caps
+      spec_source
+  in
+  if bus = "plb" then s else { s with Spec.bus_name = bus }
+
+let mask32 v = Int64.of_int32 (Int64.to_int32 v)
+
+let reference_outputs ~taps samples =
+  let taps = Array.of_list taps in
+  let xs = Array.of_list samples in
+  let n = Array.length xs in
+  List.init n (fun i ->
+      let acc = ref 0L in
+      Array.iteri
+        (fun j c ->
+          let k = i - j in
+          if k >= 0 then acc := Int64.add !acc (Int64.mul c xs.(k)))
+        taps;
+      mask32 !acc)
+
+(* per-channel coefficient registers, shared between the function stubs the
+   way §8.3.1's timer module is shared between its command stubs.
+
+   Peripheral.build hands the same behaviour to every instance of a
+   multi-instance function, so per-channel state is routed through a
+   "current channel" selector recorded just before each driver call — safe
+   because the simulation executes one driver call at a time. *)
+type t = { host : Host.t; taps : int64 list array }
+
+let current_channel = ref 0
+
+let make_behaviors (taps_store : int64 list array) name : Stub_model.behavior =
+  match name with
+  | "set_taps" ->
+      Stub_model.behavior ~cycles:2 (fun inputs ->
+          taps_store.(!current_channel) <- List.assoc "taps" inputs;
+          [])
+  | "filter" ->
+      Stub_model.behavior ~cycles:8 (fun inputs ->
+          let samples = List.assoc "samples" inputs in
+          let outs =
+            reference_outputs ~taps:taps_store.(!current_channel) samples
+          in
+          [ (match List.rev outs with last :: _ -> last | [] -> 0L) ])
+  | "decimate" ->
+      Stub_model.behavior ~cycles:8 (fun inputs ->
+          let samples = List.assoc "samples" inputs in
+          let k =
+            match List.assoc "k" inputs with v :: _ -> Int64.to_int v | [] -> 1
+          in
+          let m =
+            match List.assoc "m" inputs with v :: _ -> Int64.to_int v | [] -> 0
+          in
+          let outs =
+            reference_outputs ~taps:taps_store.(!current_channel) samples
+          in
+          let picked =
+            List.filteri (fun i _ -> k > 0 && i mod k = k - 1) outs
+          in
+          (* the hardware returns exactly m values, zero-padding a short run *)
+          List.init m (fun i ->
+              match List.nth_opt picked i with Some v -> v | None -> 0L))
+  | other -> failwith ("fir: unknown function " ^ other)
+
+let create ?bus () =
+  let spec = spec ?bus () in
+  let taps = [| []; [] |] in
+  let host = Host.create spec ~behaviors:(make_behaviors taps) in
+  { host; taps }
+
+let host t = t.host
+
+let set_taps ?(channel = 0) t taps =
+  current_channel := channel;
+  let n = Int64.of_int (List.length taps) in
+  let r, cycles =
+    Host.call ~instance:channel t.host ~func:"set_taps"
+      ~args:[ ("n", [ n ]); ("taps", taps) ]
+  in
+  assert (r = []);
+  cycles
+
+let filter ?(channel = 0) t samples =
+  current_channel := channel;
+  let n = Int64.of_int (List.length samples) in
+  match
+    Host.call ~instance:channel t.host ~func:"filter"
+      ~args:[ ("n", [ n ]); ("samples", samples) ]
+  with
+  | [ v ], cycles -> (v, cycles)
+  | _ -> failwith "fir: filter expected one result"
+
+let decimate ?(channel = 0) t ~every samples =
+  current_channel := channel;
+  let n = List.length samples in
+  let m = n / every in
+  if m = 0 then invalid_arg "Fir.decimate: block shorter than the stride";
+  current_channel := channel;
+  Host.call ~instance:channel t.host ~func:"decimate"
+    ~args:
+      [
+        ("m", [ Int64.of_int m ]);
+        ("k", [ Int64.of_int every ]);
+        ("n", [ Int64.of_int n ]);
+        ("samples", samples);
+      ]

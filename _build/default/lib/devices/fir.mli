@@ -1,0 +1,32 @@
+(** A FIR filter peripheral — one of the "assorted example devices
+    constructed as a means of exercising the capabilities of the tool"
+    (§2.2.1). It exercises the syntax corners the timer and interpolator
+    don't: a multi-value pointer return (decimation), reloadable state across
+    calls (the tap registers), burst transfers, and two independent hardware
+    channels via the multi-instance extension (§3.1.6). *)
+
+open Splice_driver
+open Splice_syntax
+
+val spec_source : string
+val spec : ?bus:string -> unit -> Spec.t
+
+type t
+
+val create : ?bus:string -> unit -> t
+val host : t -> Host.t
+
+val set_taps : ?channel:int -> t -> int64 list -> int
+(** Load the coefficient registers; returns driver cycles. *)
+
+val filter : ?channel:int -> t -> int64 list -> int64 * int
+(** Convolve the sample block with the current taps and return the last
+    output value (as the hardware does), plus driver cycles. *)
+
+val decimate : ?channel:int -> t -> every:int -> int64 list -> int64 list * int
+(** Convolve and return every [every]-th output — a variable-length
+    multi-value result (§6.1.1). *)
+
+val reference_outputs : taps:int64 list -> int64 list -> int64 list
+(** Golden software model: all convolution outputs (32-bit wrapped),
+    zero-padded history before the first sample. *)

@@ -1,0 +1,52 @@
+open Splice_buses
+
+module Naive_plb = struct
+  let caps = Plb.caps
+
+  let engine_config =
+    {
+      Adapter_engine.name = "plb-naive";
+      setup_cycles = 4; (* re-arbitrates and re-decodes on every word *)
+      write_word_gap = 2; (* waits out the ack before presenting more data *)
+      read_word_gap = 2;
+      teardown_cycles = 2; (* slow CE/BE release *)
+      strictly_sync = false;
+      dma_setup_transactions = 4;
+    }
+
+  let wait_mode = `Null
+  let check_params _ = Ok ()
+  let adapter_template = Plb.adapter_template
+  let extra_markers = Plb.extra_markers
+  let driver_header = Plb.driver_header
+  let connect = Bus.connect_with_engine engine_config caps wait_mode
+end
+
+module Optimized_fcb = struct
+  let caps = Fcb.caps
+
+  let engine_config =
+    {
+      Adapter_engine.name = "fcb-optimized";
+      setup_cycles = 1;
+      write_word_gap = 0;
+      read_word_gap = 0;
+      teardown_cycles = 0;
+      strictly_sync = false;
+      dma_setup_transactions = 0;
+    }
+
+  let wait_mode = `Null
+  let check_params _ = Ok ()
+  let adapter_template = Fcb.adapter_template
+  let extra_markers = Fcb.extra_markers
+  let driver_header = Fcb.driver_header
+  let connect = Bus.connect_with_engine engine_config caps wait_mode
+end
+
+(* Per-macro CPU overheads. PLB stores are posted through the write buffer
+   (1 cycle); FCB opcodes block the APU interface across the 300/100 MHz
+   clock boundary (~4 cycles), which the hand-optimised FCB driver trims by
+   fusing its opcode sequence (§9.2.1). *)
+let naive_plb_issue_overhead = 1
+let optimized_fcb_issue_overhead = 4

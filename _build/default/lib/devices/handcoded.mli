@@ -1,0 +1,16 @@
+(** The hand-coded baseline interfaces of §9.2.1, as custom bus modules.
+
+    [Naive_plb] models the "Simple PLB" interconnect: the product of a first
+    attempt by a designer "not aware of all of the intricacies of the PLB" —
+    longer setup, dead cycles between words, slow qualifier release.
+
+    [Optimized_fcb] models the hand-tuned FCB interconnect that the naïve
+    PLB interface was eventually replaced with: minimal decode latency and a
+    hand-scheduled driver (no per-macro instruction overhead, see
+    {!optimized_fcb_issue_overhead}). *)
+
+module Naive_plb : Splice_buses.Bus.S
+module Optimized_fcb : Splice_buses.Bus.S
+
+val naive_plb_issue_overhead : int
+val optimized_fcb_issue_overhead : int

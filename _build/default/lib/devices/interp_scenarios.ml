@@ -1,0 +1,55 @@
+type t = { id : int; set1 : int; set2 : int; set3 : int }
+
+let all =
+  [
+    { id = 1; set1 = 2; set2 = 1; set3 = 2 };
+    { id = 2; set1 = 4; set2 = 2; set3 = 4 };
+    { id = 3; set1 = 8; set2 = 3; set3 = 6 };
+    { id = 4; set1 = 16; set2 = 4; set3 = 8 };
+  ]
+
+let total_inputs s = s.set1 + s.set2 + s.set3
+
+let by_id id =
+  match List.find_opt (fun s -> s.id = id) all with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Interp_scenarios.by_id: %d" id)
+
+(* deterministic pseudo-random data: a small LCG seeded by scenario id *)
+let gen seed n lo hi =
+  let state = ref (Int64.of_int (seed * 2654435761)) in
+  List.init n (fun _ ->
+      state := Int64.add (Int64.mul !state 6364136223846793005L) 1442695040888963407L;
+      let v = Int64.rem (Int64.shift_right_logical !state 33) (Int64.of_int (hi - lo)) in
+      Int64.add (Int64.of_int lo) v)
+
+let inputs s =
+  (* sample times: strictly increasing; queries within range; values bounded *)
+  let times = List.mapi (fun i jitter -> Int64.add (Int64.of_int (i * 100)) jitter) (gen s.id s.set1 0 50) in
+  let queries =
+    gen (s.id + 17) s.set2 0 (max 1 ((s.set1 - 1) * 100))
+  in
+  let values = gen (s.id + 31) s.set3 (-500) 500 in
+  [
+    ("n1", [ Int64.of_int s.set1 ]);
+    ("s1", times);
+    ("n2", [ Int64.of_int s.set2 ]);
+    ("s2", queries);
+    ("n3", [ Int64.of_int s.set3 ]);
+    ("s3", values);
+  ]
+
+let fig_9_1_table () =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    "Figure 9.1: Input Parameters Required for Each Scenario\n";
+  Buffer.add_string buf
+    (Printf.sprintf "%-9s %6s %6s %6s %6s\n" "Scenario" "Set 1" "Set 2" "Set 3"
+       "Total");
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-9d %6d %6d %6d %6d\n" s.id s.set1 s.set2 s.set3
+           (total_inputs s)))
+    all;
+  Buffer.contents buf

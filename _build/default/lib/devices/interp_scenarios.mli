@@ -1,0 +1,22 @@
+(** The four interpolator usage scenarios of Fig 9.1. Each scenario supplies
+    three independent input sets (separate arrays — which is why no single
+    burst or DMA transaction can cover a whole run, §9.2). *)
+
+type t = {
+  id : int;
+  set1 : int;  (** sample-time count *)
+  set2 : int;  (** query-time count *)
+  set3 : int;  (** sample-value count *)
+}
+
+val all : t list
+(** Scenarios 1–4: (2,1,2), (4,2,4), (8,3,6), (16,4,8). *)
+
+val total_inputs : t -> int
+val by_id : int -> t
+
+val inputs : t -> (string * int64 list) list
+(** Deterministic input data for a scenario: argument lists for the
+    interpolator's six parameters ([n1..n3] counts + [s1..s3] arrays). *)
+
+val fig_9_1_table : unit -> string

@@ -1,0 +1,145 @@
+open Splice_sim
+open Splice_sis
+open Splice_driver
+open Splice_syntax
+
+let spec_source =
+  {|// Target Specification (Fig 8.2)
+%device_name hw_timer
+%target_hdl vhdl
+%bus_type plb
+%bus_width 32
+%base_address 0x8000401C
+%dma_support false
+%user_type llong, unsigned long long, 64
+%user_type ulong, unsigned long, 32
+
+// Interface Directives
+void disable();
+void enable();
+void set_threshold(llong thold);
+llong get_threshold();
+llong get_snapshot();
+ulong get_clock();
+ulong get_status();
+|}
+
+let spec ?(bus = "plb") () =
+  let s =
+    Validate.of_string_exn ~lookup_bus:Splice_buses.Registry.lookup_caps
+      spec_source
+  in
+  if bus = "plb" then s else { s with Spec.bus_name = bus }
+
+(* the timer module of §8.3.2 (Figs 8.5/8.6) *)
+type timer_state = {
+  mutable enabled : bool;
+  mutable threshold : int64;
+  mutable value : int64;
+  mutable fired : bool;
+}
+
+let clock_rate_hz = 100_000_000L (* the 100 MHz bus clock of §9.3 *)
+
+type t = { host : Host.t; state : timer_state }
+
+(* Fig 8.6: count up to the threshold, raise the trigger, clear, continue *)
+let counter_component state =
+  Component.make
+    ~seq:(fun () ->
+      if state.enabled then
+        if state.value >= state.threshold && state.threshold > 0L then begin
+          state.fired <- true;
+          state.value <- 0L
+        end
+        else state.value <- Int64.add state.value 1L)
+    "hw_timer_counter"
+
+(* Fig 8.5: per-command behaviours, handshaking with the timer module *)
+let behaviors state name : Stub_model.behavior =
+  let cmd compute = Stub_model.behavior ~cycles:1 compute in
+  match name with
+  | "enable" ->
+      cmd (fun _ ->
+          state.enabled <- true;
+          [])
+  | "disable" ->
+      cmd (fun _ ->
+          state.enabled <- false;
+          [])
+  | "set_threshold" ->
+      cmd (fun inputs ->
+          (match List.assoc_opt "thold" inputs with
+          | Some [ v ] ->
+              state.threshold <- v;
+              state.value <- 0L (* setting the interval also resets (Fig 8.8) *)
+          | _ -> failwith "set_threshold: bad input");
+          [])
+  | "get_threshold" -> cmd (fun _ -> [ state.threshold ])
+  | "get_snapshot" -> cmd (fun _ -> [ state.value ])
+  | "get_clock" -> cmd (fun _ -> [ clock_rate_hz ])
+  | "get_status" ->
+      cmd (fun _ ->
+          let status =
+            Int64.logor
+              (if state.enabled then 1L else 0L)
+              (if state.fired then 2L else 0L)
+          in
+          state.fired <- false (* reading clears the fired bit (Fig 8.8) *);
+          [ status ])
+  | other -> failwith ("hw_timer: unknown function " ^ other)
+
+let create ?bus () =
+  let spec = spec ?bus () in
+  let state = { enabled = false; threshold = 0L; value = 0L; fired = false } in
+  let host = Host.create spec ~behaviors:(behaviors state) in
+  Kernel.add (Host.kernel host) (counter_component state);
+  { host; state }
+
+let host t = t.host
+
+let call0 t func =
+  let r, c = Host.call t.host ~func ~args:[] in
+  match r with [] -> c | _ -> failwith (func ^ ": unexpected result")
+
+let call0_value t func =
+  match Host.call t.host ~func ~args:[] with
+  | [ v ], c -> (v, c)
+  | _ -> failwith (func ^ ": expected one result value")
+
+let enable t = call0 t "enable"
+let disable t = call0 t "disable"
+
+let set_threshold t v =
+  let r, c = Host.call t.host ~func:"set_threshold" ~args:[ ("thold", [ v ]) ] in
+  assert (r = []);
+  c
+
+let get_threshold t = call0_value t "get_threshold"
+let get_snapshot t = call0_value t "get_snapshot"
+let get_clock t = call0_value t "get_clock"
+let get_status t = call0_value t "get_status"
+let idle t n = Kernel.run (Host.kernel t.host) n
+
+(* Fig 8.8, with the 5-second threshold scaled down to simulation size:
+   the suite sets a threshold, lets the timer fire, and checks status bits *)
+let fig_8_8_suite t =
+  let out = ref [] in
+  let printf fmt = Printf.ksprintf (fun s -> out := s :: !out) fmt in
+  ignore (disable t);
+  let clock_rate, _ = get_clock t in
+  printf "Clock: %Lu" clock_rate;
+  let threshold = 500L (* stands in for clock_rate * 5 *) in
+  ignore (set_threshold t threshold);
+  ignore (enable t);
+  let v, _ = get_snapshot t in
+  printf "Value: %Lu" v;
+  idle t 600 (* "sleep(6)": longer than the threshold, so the timer fires *);
+  let status, _ = get_status t in
+  printf "Status: %Lx" status;
+  ignore (disable t);
+  let thold, _ = get_threshold t in
+  printf "Thold: %Lu" thold;
+  let status, _ = get_status t in
+  printf "Status: %Lx" status;
+  List.rev !out

@@ -1,0 +1,44 @@
+(** The Ch 8 walkthrough device: a 64-bit hardware timer, specified exactly
+    as in Fig 8.2 and driven through Splice-generated-style drivers.
+
+    The timer module (Figs 8.5/8.6) runs as its own clocked component in the
+    simulation — the counter ticks every bus cycle while enabled, fires when
+    it reaches the threshold, then clears and continues (auto-reset mode,
+    §8.1). The function stubs hand commands to it over the
+    TIMER_ACTIVATE/TIMER_CMD_DONE-style handshake of §8.3.1, here rendered
+    as shared state between the stub behaviours and the counter process. *)
+
+open Splice_driver
+open Splice_syntax
+
+val spec_source : string
+(** The Fig 8.2 specification text. *)
+
+val spec : ?bus:string -> unit -> Spec.t
+(** Parsed + validated; [bus] overrides [%bus_type] (default [plb]). *)
+
+type t
+
+val create : ?bus:string -> unit -> t
+val host : t -> Host.t
+
+(** The software API of Fig 8.1. Every call returns the bus-clock cycles the
+    driver consumed alongside its result. *)
+
+val enable : t -> int
+val disable : t -> int
+val set_threshold : t -> int64 -> int
+val get_threshold : t -> int64 * int
+val get_snapshot : t -> int64 * int
+val get_clock : t -> int64 * int
+
+val get_status : t -> int64 * int
+(** Bit 0 = enabled, bit 1 = fired (reading clears the fired bit, Fig 8.8). *)
+
+val idle : t -> int -> unit
+(** Let the hardware run for [n] cycles with no bus activity (the
+    [sleep()] of the Fig 8.8 test suite). *)
+
+val fig_8_8_suite : t -> string list
+(** Run the exact test sequence of Fig 8.8 (with a scaled-down threshold)
+    and return its printout lines. *)

@@ -1,0 +1,1 @@
+lib/driver/cpu.ml: Bits Bus_port Component Kernel List Op Splice_bits Splice_buses Splice_sim

@@ -1,0 +1,1 @@
+lib/driver/op.ml: Bits Format List Splice_bits

@@ -1,0 +1,1 @@
+lib/driver/op.mli: Bits Format Splice_bits

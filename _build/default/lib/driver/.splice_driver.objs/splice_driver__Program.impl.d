@@ -1,0 +1,1 @@
+lib/driver/program.ml: Bits Format Int64 List Op Plan Printf Spec Splice_bits Splice_sis Splice_syntax

@@ -1,0 +1,1 @@
+lib/driver/program.mli: Format Op Plan Splice_bits Splice_sis

@@ -1,0 +1,144 @@
+open Splice_sim
+open Splice_buses
+open Splice_bits
+
+type state =
+  | Idle
+  | Overhead of int * Op.t
+  | Issue of Op.t
+  | Wait_bus of Op.t
+  | Poll_issue of int  (* func id *)
+  | Poll_wait of int
+  | Irq_wait of int
+      (* interrupt-driven synchronisation (§10.2): the CPU sleeps (no bus
+         traffic) until the completion interrupt fires, then acknowledges
+         with one status read *)
+
+type t = {
+  port : Bus_port.t;
+  issue_overhead : int;
+  wait_mode : [ `Null | `Poll | `Irq ];
+  mutable state : state;
+  mutable prog : Op.t list;
+  mutable reads : Bits.t list;  (* reversed *)
+  mutable polls : int;
+  mutable comp : Component.t;
+}
+
+let next_op t =
+  match t.prog with
+  | [] -> t.state <- Idle
+  | op :: rest ->
+      t.prog <- rest;
+      t.state <-
+        (if t.issue_overhead > 0 then Overhead (t.issue_overhead, op) else Issue op)
+
+let req_of_op op =
+  let id = Op.func_id op in
+  match op with
+  | Op.Write_single (_, w) -> Some (Bus_port.Write { func_id = id; data = [ w ] })
+  | Op.Write_double (_, ws) | Op.Write_quad (_, ws) | Op.Write_burst (_, ws) ->
+      Some (Bus_port.Write { func_id = id; data = ws })
+  | Op.Read_single _ -> Some (Bus_port.Read { func_id = id; words = 1 })
+  | Op.Read_double _ -> Some (Bus_port.Read { func_id = id; words = 2 })
+  | Op.Read_quad _ -> Some (Bus_port.Read { func_id = id; words = 4 })
+  | Op.Read_burst (_, n) -> Some (Bus_port.Read { func_id = id; words = n })
+  | Op.Write_dma (_, ws) -> Some (Bus_port.Dma_write { func_id = id; data = ws })
+  | Op.Read_dma (_, n) -> Some (Bus_port.Dma_read { func_id = id; words = n })
+  | Op.Set_address _ | Op.Wait_for_results _ -> None
+
+let seq t () =
+  match t.state with
+  | Idle -> ()
+  | Overhead (n, op) -> if n <= 1 then t.state <- Issue op else t.state <- Overhead (n - 1, op)
+  | Issue op -> (
+      match op with
+      | Op.Set_address _ -> next_op t
+      | Op.Wait_for_results id -> (
+          match t.wait_mode with
+          | `Null -> next_op t
+          | `Poll -> t.state <- Poll_issue id
+          | `Irq -> t.state <- Irq_wait id)
+      | op -> (
+          match req_of_op op with
+          | Some req ->
+              t.port.Bus_port.submit req;
+              t.state <- Wait_bus op
+          | None -> next_op t))
+  | Wait_bus op ->
+      if not (t.port.Bus_port.busy ()) then begin
+        if Bus_port.is_read (match req_of_op op with Some r -> r | None -> assert false)
+        then
+          t.reads <- List.rev_append (t.port.Bus_port.result ()) t.reads;
+        next_op t
+      end
+  | Poll_issue id ->
+      t.polls <- t.polls + 1;
+      t.port.Bus_port.submit (Bus_port.Read { func_id = 0; words = 1 });
+      t.state <- Poll_wait id
+  | Poll_wait id ->
+      if not (t.port.Bus_port.busy ()) then begin
+        let status =
+          match t.port.Bus_port.result () with
+          | [ v ] -> v
+          | _ -> Bits.zero 1
+        in
+        let bit = id - 1 in
+        let done_ = bit < Bits.width status && Bits.bit status bit in
+        if done_ then next_op t
+        else
+          t.state <-
+            (* in interrupt mode, a status read that finds our bit clear
+               means the IRQ belonged to another function: sleep again *)
+            (match t.wait_mode with `Irq -> Irq_wait id | _ -> Poll_issue id)
+      end
+  | Irq_wait id ->
+      (* no bus traffic while sleeping; the status read doubles as the
+         interrupt acknowledge (it clears the adapter's IRQ latch) *)
+      if t.port.Bus_port.irq_pending () then begin
+        t.polls <- t.polls + 1;
+        t.port.Bus_port.submit (Bus_port.Read { func_id = 0; words = 1 });
+        t.state <- Poll_wait id
+      end
+
+let make ?(issue_overhead = 1) ?wait_mode port =
+  let wait_mode =
+    match wait_mode with
+    | Some m -> m
+    | None -> (port.Bus_port.wait_mode :> [ `Null | `Poll | `Irq ])
+  in
+  let t =
+    {
+      port;
+      issue_overhead;
+      wait_mode;
+      state = Idle;
+      prog = [];
+      reads = [];
+      polls = 0;
+      comp = Component.make "cpu";
+    }
+  in
+  t.comp <- Component.make ~seq:(seq t) ("cpu:" ^ port.Bus_port.bus_name);
+  t
+
+let component t = t.comp
+
+let load t prog =
+  if t.state <> Idle then failwith "Cpu.load: already running";
+  t.prog <- prog;
+  t.reads <- [];
+  t.polls <- 0;
+  next_op t
+
+let running t = t.state <> Idle
+let read_data t = List.rev t.reads
+let polls t = t.polls
+
+let run_program ?(max_cycles = 1_000_000) kernel t prog =
+  load t prog;
+  let cycles =
+    Kernel.run_until ~max:max_cycles ~what:"driver program" kernel (fun () ->
+        not (running t))
+  in
+  (read_data t, cycles)

@@ -1,0 +1,40 @@
+(** CPU model: executes a driver {!Program} against a simulated bus port.
+
+    Charges [issue_overhead] bus-clock cycles of instruction overhead per
+    driver macro (modelling the CPU/bridge crossing; the thesis clocked the
+    PPC-405 at 300 MHz against a 100 MHz bus), then submits the macro's bus
+    request and stalls until the bus completes it. WAIT_FOR_RESULTS follows
+    the port's [wait_mode]: a no-op on pseudo-asynchronous buses, a
+    status-register poll loop on strictly synchronous ones (§6.1.1). *)
+
+open Splice_sim
+open Splice_buses
+open Splice_bits
+
+type t
+
+val make : ?issue_overhead:int -> ?wait_mode:[ `Null | `Poll | `Irq ] ->
+  Bus_port.t -> t
+(** [issue_overhead] defaults to 1. [wait_mode] overrides the port's default
+    WAIT_FOR_RESULTS strategy; [`Irq] (completion interrupts, §10.2) sleeps
+    without bus traffic until the adapter's IRQ latch rises, then issues one
+    status read as the acknowledge. *)
+
+val component : t -> Component.t
+(** Register {e before} the bus adapter's component for same-cycle
+    submission pickup (ordering only shifts counts by a constant). *)
+
+val load : t -> Program.t -> unit
+(** Begin executing a program. Raises [Failure] when already running. *)
+
+val running : t -> bool
+val read_data : t -> Bits.t list
+(** Words collected by the program's data reads (status polls excluded). *)
+
+val polls : t -> int
+(** Status polls issued by the last WAIT_FOR_RESULTS loops. *)
+
+val run_program :
+  ?max_cycles:int -> Kernel.t -> t -> Program.t -> Bits.t list * int
+(** Convenience: [load], run the kernel until completion, and return
+    [(read_data, cycles_taken)]. *)

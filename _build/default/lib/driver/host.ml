@@ -1,0 +1,62 @@
+open Splice_sim
+open Splice_sis
+open Splice_syntax
+open Splice_buses
+
+type t = {
+  kernel : Kernel.t;
+  spec : Spec.t;
+  peripheral : Peripheral.t;
+  port : Bus_port.t;
+  cpu : Cpu.t;
+  lean_driver : bool;
+}
+
+let create ?(monitor = true) ?issue_overhead ?(lean_driver = false) ?bus
+    (spec : Spec.t) ~behaviors =
+  let (module B : Bus.S) =
+    match bus with
+    | Some b -> b
+    | None -> (
+        match Registry.find spec.bus_name with
+        | Some b -> b
+        | None -> failwith (Printf.sprintf "Host.create: unknown bus %S" spec.bus_name))
+  in
+  let kernel = Kernel.create () in
+  let peripheral = Peripheral.build ~monitor kernel spec ~behaviors in
+  let port = B.connect kernel spec (Peripheral.sis peripheral) in
+  let wait_mode =
+    if spec.Spec.interrupts && B.caps.Bus_caps.supports_interrupts then
+      Some `Irq
+    else None
+  in
+  let cpu = Cpu.make ?issue_overhead ?wait_mode port in
+  Kernel.add kernel (Cpu.component cpu);
+  { kernel; spec; peripheral; port; cpu; lean_driver }
+
+let plan_for t ~func ~args =
+  match Spec.find_func t.spec func with
+  | None -> raise Not_found
+  | Some f -> Plan.make t.spec f ~values:(Program.values_of_args args)
+
+let call_full ?(instance = 0) ?max_cycles t ~func ~args =
+  let plan = plan_for t ~func ~args in
+  let prog =
+    Program.of_plan ~instance ~lean:t.lean_driver
+      ~max_burst_words:t.port.Bus_port.max_burst_words
+      ~supports_dma:t.port.Bus_port.supports_dma plan ~args
+  in
+  let words, cycles = Cpu.run_program ?max_cycles t.kernel t.cpu prog in
+  let readbacks, _ = Program.unpack_readbacks plan words in
+  (Program.unpack_result plan words, readbacks, cycles)
+
+let call ?instance ?max_cycles t ~func ~args =
+  let result, _, cycles = call_full ?instance ?max_cycles t ~func ~args in
+  (result, cycles)
+
+let kernel t = t.kernel
+let spec t = t.spec
+let peripheral t = t.peripheral
+let port t = t.port
+let cpu t = t.cpu
+let sis t = Peripheral.sis t.peripheral

@@ -1,0 +1,54 @@
+(** End-to-end harness: spec + bus adapter + peripheral + CPU in one kernel.
+
+    [call] performs one complete hardware function invocation the way the
+    generated C driver would — build the macro program, execute it, decode
+    the result — and reports the bus-clock cycles consumed, the quantity
+    Fig 9.2 compares. *)
+
+open Splice_sim
+open Splice_sis
+open Splice_syntax
+
+type t
+
+val create :
+  ?monitor:bool ->
+  ?issue_overhead:int ->
+  ?lean_driver:bool ->
+  ?bus:(module Splice_buses.Bus.S) ->
+  Spec.t ->
+  behaviors:(string -> Stub_model.behavior) ->
+  t
+(** [bus] defaults to the registry entry for [spec.bus_name]; raises
+    [Failure] when the bus is unknown. [lean_driver] models hand-optimised
+    driver code (see {!Program.of_plan}). *)
+
+val call :
+  ?instance:int ->
+  ?max_cycles:int ->
+  t ->
+  func:string ->
+  args:(string * int64 list) list ->
+  int64 list * int
+(** Returns (result elements, cycles taken). Raises [Not_found] for unknown
+    functions. *)
+
+val call_full :
+  ?instance:int ->
+  ?max_cycles:int ->
+  t ->
+  func:string ->
+  args:(string * int64 list) list ->
+  int64 list * (string * int64 list) list * int
+(** Like {!call} but also returns the values of pass-by-reference parameters
+    after the call (§10.2), as (result, readbacks, cycles). *)
+
+val kernel : t -> Kernel.t
+val spec : t -> Spec.t
+val peripheral : t -> Peripheral.t
+val port : t -> Splice_buses.Bus_port.t
+val cpu : t -> Cpu.t
+val sis : t -> Sis_if.t
+
+val plan_for :
+  t -> func:string -> args:(string * int64 list) list -> Plan.t

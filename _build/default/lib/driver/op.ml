@@ -1,0 +1,51 @@
+open Splice_bits
+
+type t =
+  | Set_address of int
+  | Write_single of int * Bits.t
+  | Write_double of int * Bits.t list
+  | Write_quad of int * Bits.t list
+  | Write_burst of int * Bits.t list
+  | Read_single of int
+  | Read_double of int
+  | Read_quad of int
+  | Read_burst of int * int
+  | Write_dma of int * Bits.t list
+  | Read_dma of int * int
+  | Wait_for_results of int
+
+let func_id = function
+  | Set_address id
+  | Write_single (id, _)
+  | Write_double (id, _)
+  | Write_quad (id, _)
+  | Write_burst (id, _)
+  | Read_single id
+  | Read_double id
+  | Read_quad id
+  | Read_burst (id, _)
+  | Write_dma (id, _)
+  | Read_dma (id, _)
+  | Wait_for_results id -> id
+
+let read_words = function
+  | Read_single _ -> 1
+  | Read_double _ -> 2
+  | Read_quad _ -> 4
+  | Read_burst (_, n) | Read_dma (_, n) -> n
+  | Set_address _ | Write_single _ | Write_double _ | Write_quad _
+  | Write_burst _ | Write_dma _ | Wait_for_results _ -> 0
+
+let pp fmt = function
+  | Set_address id -> Format.fprintf fmt "SET_ADDRESS(%d)" id
+  | Write_single (id, _) -> Format.fprintf fmt "WRITE_SINGLE(%d)" id
+  | Write_double (id, _) -> Format.fprintf fmt "WRITE_DOUBLE(%d)" id
+  | Write_quad (id, _) -> Format.fprintf fmt "WRITE_QUAD(%d)" id
+  | Write_burst (id, d) -> Format.fprintf fmt "WRITE_BURST(%d,%d)" id (List.length d)
+  | Read_single id -> Format.fprintf fmt "READ_SINGLE(%d)" id
+  | Read_double id -> Format.fprintf fmt "READ_DOUBLE(%d)" id
+  | Read_quad id -> Format.fprintf fmt "READ_QUAD(%d)" id
+  | Read_burst (id, n) -> Format.fprintf fmt "READ_BURST(%d,%d)" id n
+  | Write_dma (id, d) -> Format.fprintf fmt "WRITE_DMA(%d,%d)" id (List.length d)
+  | Read_dma (id, n) -> Format.fprintf fmt "READ_DMA(%d,%d)" id n
+  | Wait_for_results id -> Format.fprintf fmt "WAIT_FOR_RESULTS(%d)" id

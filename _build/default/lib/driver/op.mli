@@ -1,0 +1,27 @@
+(** Driver operations at the granularity of the software macros of Fig 7.2.
+    A generated C driver (Fig 6.1/6.2) is a straight-line sequence of these;
+    the {!Cpu} model executes the same sequence against a simulated bus. *)
+
+open Splice_bits
+
+type t =
+  | Set_address of int  (** SET_ADDRESS(id): address computation, CPU-only *)
+  | Write_single of int * Bits.t
+  | Write_double of int * Bits.t list  (** exactly 2 words, one burst *)
+  | Write_quad of int * Bits.t list  (** exactly 4 words, one burst *)
+  | Write_burst of int * Bits.t list  (** wider native burst (AHB, §2.3.1) *)
+  | Read_single of int
+  | Read_double of int
+  | Read_quad of int
+  | Read_burst of int * int
+  | Write_dma of int * Bits.t list  (** WRITE_DMA (§6.1.2) *)
+  | Read_dma of int * int
+  | Wait_for_results of int
+      (** WAIT_FOR_RESULTS: no-op on pseudo-asynchronous buses, a CALC_DONE
+          poll loop on strictly synchronous ones (§6.1.1) *)
+
+val func_id : t -> int
+val read_words : t -> int
+(** Words this op returns to the caller (0 for writes and waits). *)
+
+val pp : Format.formatter -> t -> unit

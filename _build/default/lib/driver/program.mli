@@ -1,0 +1,42 @@
+(** Builds the driver operation sequence for one hardware call — the
+    executable twin of the C drivers [Codegen.Drivergen] emits (Fig 6.1/6.2):
+    SET_ADDRESS, one write macro per transaction chunk of each input (in
+    declaration order), WAIT_FOR_RESULTS when the call blocks, then the read
+    macros for the result. *)
+
+open Splice_sis
+
+type t = Op.t list
+
+val of_plan :
+  ?instance:int ->
+  ?lean:bool ->
+  max_burst_words:int ->
+  supports_dma:bool ->
+  Plan.t ->
+  args:(string * int64 list) list ->
+  t
+(** [args] maps every input parameter name to its element values (scalars are
+    single-element lists). Raises [Invalid_argument] when an argument is
+    missing, has the wrong element count, or DMA is requested on a bus
+    without it. [instance] selects the hardware copy for multi-instance
+    functions (Fig 6.2: [func_id + inst_index]). [lean] models a
+    hand-optimised driver: compile-time addresses (no SET_ADDRESS) and no
+    null WAIT_FOR_RESULTS macro; only valid on pseudo-asynchronous buses. *)
+
+val expected_read_words : t -> int
+
+val unpack_readbacks :
+  Plan.t -> Splice_bits.Bits.t list -> (string * int64 list) list * Splice_bits.Bits.t list
+(** Decode the by-reference parameter values read back after the call
+    (§10.2), returning them with the remaining (result) words. *)
+
+val unpack_result : Plan.t -> Splice_bits.Bits.t list -> int64 list
+(** Decode the words read back into result elements ([] for void/nowait);
+    skips any leading readback words. *)
+
+val values_of_args : (string * int64 list) list -> string -> int
+(** Implicit-count resolver over the argument list (first element, as the
+    hardware sees it). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/eval/cycles.ml: Buffer Format Interp_scenarios Interpolator List Printf Splice_devices

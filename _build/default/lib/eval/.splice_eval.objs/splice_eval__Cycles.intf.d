@@ -1,0 +1,1 @@
+lib/eval/cycles.mli: Format Interpolator Splice_devices

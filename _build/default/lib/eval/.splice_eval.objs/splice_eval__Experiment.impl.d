@@ -1,0 +1,1 @@
+lib/eval/experiment.ml: Buffer Cpu Host Int64 List Option Plan Printf Spec Splice_buses Splice_driver Splice_resources Splice_sis Splice_syntax String Stub_model Validate

@@ -1,0 +1,85 @@
+open Splice_devices
+
+type row = {
+  impl : Interpolator.impl;
+  per_scenario : (int * int) list;
+  total : int;
+}
+
+let measure () =
+  List.map
+    (fun impl ->
+      let host = Interpolator.make_host impl in
+      let per_scenario =
+        List.map
+          (fun s ->
+            let result, cycles = Interpolator.run host s in
+            let expected =
+              Interpolator.reference (Interp_scenarios.inputs s)
+            in
+            if result <> expected then
+              failwith
+                (Printf.sprintf
+                   "%s, scenario %d: hardware returned %Ld, golden model %Ld"
+                   (Interpolator.impl_name impl) s.Interp_scenarios.id result
+                   expected);
+            (s.Interp_scenarios.id, cycles))
+          Interp_scenarios.all
+      in
+      let total = List.fold_left (fun acc (_, c) -> acc + c) 0 per_scenario in
+      { impl; per_scenario; total })
+    Interpolator.all_impls
+
+let cycles_of rows impl =
+  match List.find_opt (fun r -> r.impl = impl) rows with
+  | Some r -> r.total
+  | None -> raise Not_found
+
+type summary = {
+  splice_plb_vs_naive : float;
+  splice_fcb_vs_naive : float;
+  splice_fcb_vs_optimized : float;
+  dma_vs_simple : float;
+}
+
+let summarize rows =
+  let c impl = float_of_int (cycles_of rows impl) in
+  {
+    splice_plb_vs_naive =
+      c Interpolator.Splice_plb_simple /. c Interpolator.Simple_plb_handcoded;
+    splice_fcb_vs_naive =
+      c Interpolator.Splice_fcb /. c Interpolator.Simple_plb_handcoded;
+    splice_fcb_vs_optimized =
+      c Interpolator.Splice_fcb /. c Interpolator.Optimized_fcb_handcoded;
+    dma_vs_simple =
+      c Interpolator.Splice_plb_dma /. c Interpolator.Splice_plb_simple;
+  }
+
+let fig_9_2_table rows =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "Figure 9.2: Clock Cycles Per Run By Each Implementation\n";
+  Buffer.add_string buf (Printf.sprintf "%-28s" "implementation");
+  List.iter
+    (fun (s : Interp_scenarios.t) ->
+      Buffer.add_string buf (Printf.sprintf " %8s" (Printf.sprintf "scen %d" s.id)))
+    Interp_scenarios.all;
+  Buffer.add_string buf (Printf.sprintf " %8s\n" "total");
+  List.iter
+    (fun r ->
+      Buffer.add_string buf (Printf.sprintf "%-28s" (Interpolator.impl_name r.impl));
+      List.iter
+        (fun (_, c) -> Buffer.add_string buf (Printf.sprintf " %8d" c))
+        r.per_scenario;
+      Buffer.add_string buf (Printf.sprintf " %8d\n" r.total))
+    rows;
+  Buffer.contents buf
+
+let pp_summary fmt s =
+  Format.fprintf fmt
+    "@[<v>Splice PLB vs naive PLB:      %.2f (paper ~0.75)@,\
+     Splice FCB vs naive PLB:      %.2f (paper ~0.57)@,\
+     Splice FCB vs optimized FCB:  %.2f (paper ~1.13)@,\
+     Splice PLB+DMA vs simple PLB: %.2f (paper 0.96-0.99)@]"
+    s.splice_plb_vs_naive s.splice_fcb_vs_naive s.splice_fcb_vs_optimized
+    s.dma_vs_simple

@@ -1,0 +1,28 @@
+(** Fig 9.2 measurement harness: clock cycles per run for every
+    implementation and scenario, plus the summary ratios §9.3.1 reports. *)
+
+open Splice_devices
+
+type row = {
+  impl : Interpolator.impl;
+  per_scenario : (int * int) list;  (** scenario id, cycles *)
+  total : int;
+}
+
+val measure : unit -> row list
+(** Runs every implementation on every scenario; also cross-checks each
+    result against the golden model and raises [Failure] on mismatch. *)
+
+val cycles_of : row list -> Interpolator.impl -> int
+(** Total cycles across scenarios. Raises [Not_found]. *)
+
+type summary = {
+  splice_plb_vs_naive : float;  (** paper: ≈ 0.75 (25 % faster) *)
+  splice_fcb_vs_naive : float;  (** paper: ≈ 0.57 (43 % faster) *)
+  splice_fcb_vs_optimized : float;  (** paper: ≈ 1.13 (13 % slower) *)
+  dma_vs_simple : float;  (** paper: 0.96–0.99 (1–4 % faster) *)
+}
+
+val summarize : row list -> summary
+val fig_9_2_table : row list -> string
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,82 @@
+(** Ablation experiments for the design decisions DESIGN.md calls out
+    (E4/E5/E8/E9). Each returns structured data plus a printable table. *)
+
+(** E4 — packing (§3.1.3): moving [n] 8-bit chars over a 32-bit bus with and
+    without the ['+'] extension. The thesis's example: 4 chars packed into
+    one word is a 75 % word-count reduction. *)
+module Packing : sig
+  type point = {
+    chars : int;
+    words_unpacked : int;
+    words_packed : int;
+    cycles_unpacked : int;
+    cycles_packed : int;
+  }
+
+  val run : ?sizes:int list -> unit -> point list
+  val table : point list -> string
+end
+
+(** E5 — DMA crossover (§3.1.5 / §9.2.1): PLB transfer of [n] words via
+    programmed I/O vs DMA. The DMA engine costs 4 programming transactions,
+    so it only pays off beyond a handful of words. *)
+module Dma_crossover : sig
+  type point = { words : int; pio_cycles : int; dma_cycles : int }
+
+  val run : ?sizes:int list -> unit -> point list
+  val crossover : point list -> int option
+  (** Smallest word count where DMA wins. *)
+
+  val table : point list -> string
+end
+
+(** E8 — arbitration scaling (§5.2): the same call issued on peripherals
+    carrying 1..k functions behind one arbiter. The thesis argues the shared
+    mux adds no bottleneck; cycles should be flat in k. *)
+module Arbitration : sig
+  type point = { functions : int; cycles : int }
+
+  val run : ?max_functions:int -> unit -> point list
+  val table : point list -> string
+end
+
+(** E11 — interrupt vs. polling synchronisation (§10.2): an APB call whose
+    calculation takes [calc] cycles, synchronised by CALC_DONE polling vs the
+    completion interrupt. Polling costs one status-read transaction per poll;
+    the interrupt costs exactly one (the acknowledge). *)
+module Interrupts : sig
+  type point = {
+    calc_cycles : int;
+    poll_cycles : int;
+    poll_reads : int;
+    irq_cycles : int;
+    irq_reads : int;
+  }
+
+  val run : ?calcs:int list -> unit -> point list
+  val table : point list -> string
+end
+
+(** E12 — consolidation (§5.2): k functions multiplexed behind one Splice
+    arbiter vs k single-function peripherals each with its own bus adapter.
+    Cycles are identical (one master owns the bus either way — E8 shows the
+    mux is free); the win is area: one adapter instead of k. *)
+module Consolidation : sig
+  type point = {
+    functions : int;
+    consolidated_slices : int;
+    separate_slices : int;
+  }
+
+  val run : ?max_functions:int -> unit -> point list
+  val table : point list -> string
+end
+
+(** E9 — burst ablation (§3.2.2): FCB array transfers with
+    [%burst_support] on (double/quad macros) vs off (singles). *)
+module Burst : sig
+  type point = { words : int; burst_cycles : int; single_cycles : int }
+
+  val run : ?sizes:int list -> unit -> point list
+  val table : point list -> string
+end

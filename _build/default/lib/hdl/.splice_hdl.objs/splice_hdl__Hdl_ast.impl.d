@@ -1,0 +1,1 @@
+lib/hdl/hdl_ast.ml: Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/hdl/template.ml: Buffer List String

@@ -1,0 +1,1 @@
+lib/hdl/verilog.ml: Buffer Hashtbl Hdl_ast List Printf String

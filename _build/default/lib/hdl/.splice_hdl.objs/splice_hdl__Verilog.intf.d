@@ -1,0 +1,1 @@
+lib/hdl/verilog.mli: Hdl_ast

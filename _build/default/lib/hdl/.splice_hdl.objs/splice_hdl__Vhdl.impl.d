@@ -1,0 +1,1 @@
+lib/hdl/vhdl.ml: Buffer Hdl_ast List Printf String

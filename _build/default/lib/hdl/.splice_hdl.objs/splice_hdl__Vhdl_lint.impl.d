@@ -1,0 +1,1 @@
+lib/hdl/vhdl_lint.ml: Format Hashtbl List Printf String

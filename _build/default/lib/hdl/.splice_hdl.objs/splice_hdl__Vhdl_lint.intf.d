@@ -1,0 +1,1 @@
+lib/hdl/vhdl_lint.mli: Format

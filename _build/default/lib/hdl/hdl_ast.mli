@@ -1,0 +1,83 @@
+(** A small structural HDL AST covering what Splice generates: entities with
+    ports/generics, architectures with signals, constants, component
+    instances, concurrent assignments and clocked/combinational processes.
+    Rendered to VHDL by {!Vhdl} and — the §10.2 future-work item — to
+    Verilog by {!Verilog}. *)
+
+type binop =
+  | And | Or | Xor
+  | Eq | Neq | Lt | Le | Gt | Ge
+  | Add | Sub
+
+type expr =
+  | Ref of string
+  | Index of string * expr  (** [sig(expr)] / [sig\[expr\]] *)
+  | Slice of string * int * int  (** [sig(hi downto lo)] *)
+  | Lit of int * int  (** value, width (bit-vector literal) *)
+  | Int_lit of int  (** plain integer (generic values, counters) *)
+  | Bool_lit of bool  (** ['1'] / ['0'] *)
+  | All_zeros  (** [(others => '0')] / ['{default:1'b0}] *)
+  | All_ones
+  | Binop of binop * expr * expr
+  | Not of expr
+  | Concat of expr list
+  | Resize of expr * int  (** zero-extend / truncate *)
+  | Raw of string
+      (** verbatim target-language text — escape hatch for constructs the AST
+          does not model (generic-parameter arithmetic etc.) *)
+
+type case_choice = Choice_lit of int * int | Choice_ref of string | Choice_others
+
+type stmt =
+  | Assign of expr * expr  (** signal assignment *)
+  | If of (expr * stmt list) list * stmt list  (** elsif chain + else *)
+  | Case of expr * (case_choice * stmt list) list
+  | Null
+  | Comment of string
+
+type dir = In | Out
+
+type port = { port_name : string; dir : dir; width : int }
+(** [width = 1] renders as [std_logic] / plain wire; [width = 0] is invalid. *)
+
+type generic = { gen_name : string; gen_type : string; gen_default : string }
+type signal_decl = { sig_name : string; sig_width : int }
+type constant_decl = { const_name : string; const_width : int option; const_value : int }
+(** [const_width = None] renders as an integer constant. *)
+
+type process = {
+  proc_name : string;
+  clocked : bool;  (** wraps the body in [rising_edge(CLK)] / [posedge CLK] *)
+  sensitivity : string list;  (** ignored when [clocked] (clock implied) *)
+  body : stmt list;
+}
+
+type concurrent =
+  | Proc of process
+  | Cassign of expr * expr
+  | Cassign_cond of expr * (expr * expr) list * expr
+      (** [target <= v1 when c1 else v2 when c2 else vdef] *)
+  | Instance of {
+      inst_name : string;
+      comp_name : string;
+      generic_map : (string * string) list;
+      port_map : (string * expr) list;
+    }
+  | Ccomment of string
+
+type design = {
+  header : string list;  (** comment lines at the top of the file *)
+  name : string;  (** entity / module name *)
+  generics : generic list;
+  ports : port list;
+  constants : constant_decl list;
+  signals : signal_decl list;
+  body : concurrent list;
+}
+
+val clk_port : port
+val rst_port : port
+
+val validate : design -> (unit, string list) result
+(** Structural sanity: unique port/signal/constant names, no zero-width
+    ports/signals, case/if shapes non-empty. *)

@@ -1,0 +1,64 @@
+exception Unknown_marker of { marker : string; known : string list }
+
+let is_marker_char c = (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+
+(* Scan for %NAME% occurrences; [f] decides the replacement ([None] keeps the
+   original text). *)
+let substitute f src =
+  let buf = Buffer.create (String.length src) in
+  let n = String.length src in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '%' then begin
+      let j = ref (!i + 1) in
+      while !j < n && is_marker_char src.[!j] do
+        incr j
+      done;
+      if !j > !i + 1 && !j < n && src.[!j] = '%' then begin
+        let name = String.sub src (!i + 1) (!j - !i - 1) in
+        (match f name with
+        | Some repl -> Buffer.add_string buf repl
+        | None -> Buffer.add_string buf (String.sub src !i (!j - !i + 1)));
+        i := !j + 1
+      end
+      else begin
+        Buffer.add_char buf c;
+        incr i
+      end
+    end
+    else begin
+      Buffer.add_char buf c;
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let markers_in src =
+  let seen = ref [] in
+  ignore
+    (substitute
+       (fun name ->
+         if not (List.mem name !seen) then seen := name :: !seen;
+         None)
+       src);
+  List.rev !seen
+
+let lookup markers name =
+  (* later bindings shadow earlier ones *)
+  let rec go acc = function
+    | [] -> acc
+    | (k, v) :: rest -> go (if k = name then Some v else acc) rest
+  in
+  go None markers
+
+let expand ~markers src =
+  let known = List.map fst markers in
+  substitute
+    (fun name ->
+      match lookup markers name with
+      | Some v -> Some v
+      | None -> raise (Unknown_marker { marker = name; known }))
+    src
+
+let expand_partial ~markers src = substitute (lookup markers) src

@@ -1,0 +1,17 @@
+(** The annotated-HDL template engine of §5.1 / §7.1.2: scans a reference
+    HDL file for [%MARKER%] symbols and replaces each with generated logic.
+    Unknown markers are an error (the "marker loader" of an adapter library
+    must declare every bus-specific marker it uses). *)
+
+exception Unknown_marker of { marker : string; known : string list }
+
+val markers_in : string -> string list
+(** Distinct [%NAME%] markers in order of first occurrence. Marker names are
+    uppercase identifiers ([A-Z0-9_]+). *)
+
+val expand : markers:(string * string) list -> string -> string
+(** Raises {!Unknown_marker}; later bindings shadow earlier ones. *)
+
+val expand_partial : markers:(string * string) list -> string -> string
+(** Like {!expand} but leaves unknown markers untouched (used to apply the
+    standard macro set before a bus's own marker pass). *)

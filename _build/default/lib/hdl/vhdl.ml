@@ -1,0 +1,248 @@
+open Hdl_ast
+
+let type_of_width w =
+  if w = 1 then "std_logic" else Printf.sprintf "std_logic_vector(%d downto 0)" (w - 1)
+
+let bin_literal v w =
+  let b = Buffer.create w in
+  for i = w - 1 downto 0 do
+    Buffer.add_char b (if (v lsr i) land 1 = 1 then '1' else '0')
+  done;
+  Buffer.contents b
+
+let rec expr = function
+  | Raw s -> s
+  | Ref n -> n
+  | Index (s, Int_lit i) -> Printf.sprintf "%s(%d)" s i
+  | Index (s, e) -> Printf.sprintf "%s(to_integer(unsigned(%s)))" s (expr e)
+  | Slice (s, hi, lo) -> Printf.sprintf "%s(%d downto %d)" s hi lo
+  | Lit (v, 1) -> Printf.sprintf "'%d'" (v land 1)
+  | Lit (v, w) -> Printf.sprintf "\"%s\"" (bin_literal v w)
+  | Int_lit i -> string_of_int i
+  | Bool_lit b -> if b then "'1'" else "'0'"
+  | All_zeros -> "(others => '0')"
+  | All_ones -> "(others => '1')"
+  | Binop ((Add | Sub) as op, a, b) ->
+      Printf.sprintf "std_logic_vector(unsigned(%s) %s unsigned(%s))" (expr a)
+        (if op = Add then "+" else "-")
+        (expr b)
+  | Binop ((And | Or | Xor) as op, a, b) ->
+      let s = match op with And -> "and" | Or -> "or" | _ -> "xor" in
+      Printf.sprintf "(%s %s %s)" (expr a) s (expr b)
+  | Binop (_, _, _) as e ->
+      (* comparison used in value context: encode as '1'/'0' via boolean *)
+      Printf.sprintf "bool_to_sl(%s)" (cond e)
+  | Not e -> Printf.sprintf "(not %s)" (expr e)
+  | Concat es -> String.concat " & " (List.map expr es)
+  | Resize (e, w) ->
+      Printf.sprintf "std_logic_vector(resize(unsigned(%s), %d))" (expr e) w
+
+and cond = function
+  | Raw s -> s
+  | Ref n -> Printf.sprintf "%s = '1'" n
+  | Index (s, Int_lit i) -> Printf.sprintf "%s(%d) = '1'" s i
+  | Index _ as e -> Printf.sprintf "%s = '1'" (expr e)
+  | Bool_lit b -> if b then "true" else "false"
+  | Binop (Eq, a, b) -> Printf.sprintf "%s = %s" (cmp_operand a) (cmp_operand b)
+  | Binop (Neq, a, b) -> Printf.sprintf "%s /= %s" (cmp_operand a) (cmp_operand b)
+  | Binop (Lt, a, b) -> Printf.sprintf "unsigned(%s) < unsigned(%s)" (expr a) (expr b)
+  | Binop (Le, a, b) -> Printf.sprintf "unsigned(%s) <= unsigned(%s)" (expr a) (expr b)
+  | Binop (Gt, a, b) -> Printf.sprintf "unsigned(%s) > unsigned(%s)" (expr a) (expr b)
+  | Binop (Ge, a, b) -> Printf.sprintf "unsigned(%s) >= unsigned(%s)" (expr a) (expr b)
+  | Binop (And, a, b) -> Printf.sprintf "(%s and %s)" (cond a) (cond b)
+  | Binop (Or, a, b) -> Printf.sprintf "(%s or %s)" (cond a) (cond b)
+  | Binop (Xor, a, b) -> Printf.sprintf "(%s xor %s)" (cond a) (cond b)
+  | Binop ((Add | Sub), _, _) as e -> Printf.sprintf "%s /= 0" (expr e)
+  | Not e -> Printf.sprintf "not (%s)" (cond e)
+  | e -> Printf.sprintf "unsigned(%s) /= 0" (expr e)
+
+and cmp_operand e =
+  match e with
+  | Lit _ | Bool_lit _ | All_zeros | All_ones -> expr e
+  | _ -> expr e
+
+let rec stmt buf indent s =
+  let pad = String.make indent ' ' in
+  match s with
+  | Assign (lhs, rhs) ->
+      Buffer.add_string buf (Printf.sprintf "%s%s <= %s;\n" pad (expr lhs) (expr rhs))
+  | Null -> Buffer.add_string buf (pad ^ "null;\n")
+  | Comment c -> Buffer.add_string buf (Printf.sprintf "%s-- %s\n" pad c)
+  | If (branches, else_) ->
+      List.iteri
+        (fun i (c, body) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s (%s) then\n" pad
+               (if i = 0 then "if" else "elsif")
+               (cond c));
+          List.iter (stmt buf (indent + 2)) body)
+        branches;
+      if else_ <> [] then begin
+        Buffer.add_string buf (pad ^ "else\n");
+        List.iter (stmt buf (indent + 2)) else_
+      end;
+      Buffer.add_string buf (pad ^ "end if;\n")
+  | Case (scrutinee, arms) ->
+      Buffer.add_string buf (Printf.sprintf "%scase %s is\n" pad (expr scrutinee));
+      List.iter
+        (fun (choice, body) ->
+          let c =
+            match choice with
+            | Choice_lit (v, w) -> expr (Lit (v, w))
+            | Choice_ref r -> r
+            | Choice_others -> "others"
+          in
+          Buffer.add_string buf (Printf.sprintf "%s  when %s =>\n" pad c);
+          if body = [] then Buffer.add_string buf (pad ^ "    null;\n")
+          else List.iter (stmt buf (indent + 4)) body)
+        arms;
+      Buffer.add_string buf (pad ^ "end case;\n")
+
+let port_decl p =
+  Printf.sprintf "    %-24s : %-3s %s" p.port_name
+    (match p.dir with In -> "in" | Out -> "out")
+    (type_of_width p.width)
+
+let concurrent buf = function
+  | Ccomment c -> Buffer.add_string buf (Printf.sprintf "  -- %s\n" c)
+  | Cassign (lhs, rhs) ->
+      Buffer.add_string buf (Printf.sprintf "  %s <= %s;\n" (expr lhs) (expr rhs))
+  | Cassign_cond (lhs, branches, default) ->
+      let parts =
+        List.map (fun (c, v) -> Printf.sprintf "%s when (%s)" (expr v) (cond c)) branches
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %s <= %s else %s;\n" (expr lhs)
+           (String.concat " else " parts) (expr default))
+  | Instance { inst_name; comp_name; generic_map; port_map } ->
+      Buffer.add_string buf (Printf.sprintf "  %s : %s\n" inst_name comp_name);
+      if generic_map <> [] then
+        Buffer.add_string buf
+          (Printf.sprintf "    generic map (%s)\n"
+             (String.concat ", "
+                (List.map (fun (k, v) -> Printf.sprintf "%s => %s" k v) generic_map)));
+      Buffer.add_string buf "    port map (\n";
+      let n = List.length port_map in
+      List.iteri
+        (fun i (k, v) ->
+          Buffer.add_string buf
+            (Printf.sprintf "      %-20s => %s%s\n" k (expr v)
+               (if i = n - 1 then "" else ",")))
+        port_map;
+      Buffer.add_string buf "    );\n"
+  | Proc p ->
+      let sens =
+        if p.clocked then "CLK"
+        else if p.sensitivity = [] then "all"
+        else String.concat ", " p.sensitivity
+      in
+      Buffer.add_string buf (Printf.sprintf "  %s : process (%s)\n  begin\n" p.proc_name sens);
+      if p.clocked then begin
+        Buffer.add_string buf "    if rising_edge(CLK) then\n";
+        List.iter (stmt buf 6) p.body;
+        Buffer.add_string buf "    end if;\n"
+      end
+      else List.iter (stmt buf 4) p.body;
+      Buffer.add_string buf (Printf.sprintf "  end process %s;\n" p.proc_name)
+
+let needs_bool_helper d =
+  let rec in_expr = function
+    | Binop ((Eq | Neq | Lt | Le | Gt | Ge), _, _) -> true
+    | Binop (_, a, b) -> in_expr a || in_expr b
+    | Not e | Resize (e, _) -> in_expr e
+    | Concat es -> List.exists in_expr es
+    | _ -> false
+  in
+  let value_ctx_cmp rhs = match rhs with Binop ((Eq | Neq | Lt | Le | Gt | Ge), _, _) -> true | _ -> false in
+  let rec in_stmt = function
+    | Assign (_, rhs) -> value_ctx_cmp rhs || in_expr rhs
+    | If (bs, e) ->
+        List.exists (fun (_, ss) -> List.exists in_stmt ss) bs || List.exists in_stmt e
+    | Case (_, arms) -> List.exists (fun (_, ss) -> List.exists in_stmt ss) arms
+    | Null | Comment _ -> false
+  in
+  List.exists
+    (function
+      | Proc p -> List.exists in_stmt p.body
+      | Cassign (_, rhs) -> value_ctx_cmp rhs
+      | _ -> false)
+    d.body
+
+let to_string (d : design) =
+  let buf = Buffer.create 4096 in
+  List.iter (fun l -> Buffer.add_string buf (Printf.sprintf "-- %s\n" l)) d.header;
+  Buffer.add_string buf
+    "library ieee;\nuse ieee.std_logic_1164.all;\nuse ieee.numeric_std.all;\n\n";
+  (* entity *)
+  Buffer.add_string buf (Printf.sprintf "entity %s is\n" d.name);
+  if d.generics <> [] then begin
+    Buffer.add_string buf "  generic (\n";
+    let n = List.length d.generics in
+    List.iteri
+      (fun i g ->
+        Buffer.add_string buf
+          (Printf.sprintf "    %-24s : %s := %s%s\n" g.gen_name g.gen_type
+             g.gen_default
+             (if i = n - 1 then "" else ";")))
+      d.generics;
+    Buffer.add_string buf "  );\n"
+  end;
+  if d.ports <> [] then begin
+    Buffer.add_string buf "  port (\n";
+    let n = List.length d.ports in
+    List.iteri
+      (fun i p ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s\n" (port_decl p) (if i = n - 1 then "" else ";")))
+      d.ports;
+    Buffer.add_string buf "  );\n"
+  end;
+  Buffer.add_string buf (Printf.sprintf "end entity %s;\n\n" d.name);
+  (* architecture *)
+  Buffer.add_string buf (Printf.sprintf "architecture rtl of %s is\n" d.name);
+  List.iter
+    (fun c ->
+      match c.const_width with
+      | Some w ->
+          Buffer.add_string buf
+            (Printf.sprintf "  constant %-20s : %s := %s;\n" c.const_name
+               (type_of_width w)
+               (expr (Lit (c.const_value, w))))
+      | None ->
+          Buffer.add_string buf
+            (Printf.sprintf "  constant %-20s : integer := %d;\n" c.const_name
+               c.const_value))
+    d.constants;
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "  signal %-22s : %s := %s;\n" s.sig_name
+           (type_of_width s.sig_width)
+           (if s.sig_width = 1 then "'0'" else "(others => '0')")))
+    d.signals;
+  if needs_bool_helper d then
+    Buffer.add_string buf
+      "  function bool_to_sl(b : boolean) return std_logic is\n\
+      \  begin\n\
+      \    if b then return '1'; else return '0'; end if;\n\
+      \  end function;\n";
+  Buffer.add_string buf "begin\n";
+  List.iter (concurrent buf) d.body;
+  Buffer.add_string buf "end architecture rtl;\n";
+  Buffer.contents buf
+
+let component_decl (d : design) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "  component %s\n" d.name);
+  if d.ports <> [] then begin
+    Buffer.add_string buf "    port (\n";
+    let n = List.length d.ports in
+    List.iteri
+      (fun i p ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %s%s\n" (port_decl p) (if i = n - 1 then "" else ";")))
+      d.ports;
+    Buffer.add_string buf "    );\n"
+  end;
+  Buffer.add_string buf "  end component;\n";
+  Buffer.contents buf

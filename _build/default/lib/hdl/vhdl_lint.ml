@@ -1,0 +1,152 @@
+type issue = { line : int; message : string }
+
+let pp_issue fmt i = Format.fprintf fmt "line %d: %s" i.line i.message
+
+let keywords =
+  [
+    "library"; "use"; "all"; "entity"; "is"; "port"; "generic"; "map"; "in";
+    "out"; "inout"; "end"; "architecture"; "of"; "begin"; "signal"; "constant";
+    "variable"; "process"; "if"; "then"; "elsif"; "else"; "case"; "when";
+    "others"; "null"; "loop"; "for"; "to"; "downto"; "and"; "or"; "not";
+    "xor"; "nand"; "nor"; "integer"; "boolean"; "std_logic";
+    "std_logic_vector"; "unsigned"; "signed"; "rising_edge"; "falling_edge";
+    "to_unsigned"; "to_signed"; "to_integer"; "resize"; "ieee";
+    "std_logic_1164"; "numeric_std"; "work"; "return"; "function"; "true";
+    "false"; "component"; "length"; "range"; "event"; "generate";
+  ]
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_'
+
+(* tokenize into (line, token) identifiers, skipping comments, strings and
+   character/bit literals *)
+let identifiers src =
+  let out = ref [] in
+  let n = String.length src in
+  let line = ref 1 in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = '-' && !i + 1 < n && src.[!i + 1] = '-' then begin
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '"' then begin
+      incr i;
+      while !i < n && src.[!i] <> '"' do
+        if src.[!i] = '\n' then incr line;
+        incr i
+      done;
+      incr i
+    end
+    else if c = '\'' && !i + 2 < n && src.[!i + 2] = '\'' then i := !i + 3
+    else if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      let tok = String.sub src start (!i - start) in
+      (* x"..." hex literals *)
+      if String.lowercase_ascii tok = "x" && !i < n && src.[!i] = '"' then begin
+        incr i;
+        while !i < n && src.[!i] <> '"' do
+          incr i
+        done;
+        incr i
+      end
+      else out := (!line, tok) :: !out
+    end
+    else incr i
+  done;
+  List.rev !out
+
+(* declaration sites: the identifier following these keywords is declared;
+   "for" declares its loop variable; "work" qualifies a cross-file entity
+   reference (direct instantiation) *)
+let decl_after =
+  [ "entity"; "architecture"; "signal"; "constant"; "variable"; "component";
+    "for"; "work" ]
+
+let lint src =
+  let toks = identifiers src in
+  let issues = ref [] in
+  let problem line fmt =
+    Printf.ksprintf (fun message -> issues := { line; message } :: !issues) fmt
+  in
+  (* pass 1: collect declared names *)
+  let declared = Hashtbl.create 64 in
+  List.iter (fun k -> Hashtbl.replace declared k ()) keywords;
+  let rec collect = function
+    | (_, kw) :: ((_, name) :: _ as rest)
+      when List.mem (String.lowercase_ascii kw) decl_after ->
+        Hashtbl.replace declared (String.lowercase_ascii name) ();
+        collect rest
+    | _ :: rest -> collect rest
+    | [] -> ()
+  in
+  collect toks;
+  (* port/variable declarations "NAME :" and labels "name : process" --
+     scan raw text for "ident :" patterns (not ":=") *)
+  let n = String.length src in
+  let i = ref 0 in
+  while !i < n do
+    if
+      (src.[!i] >= 'a' && src.[!i] <= 'z') || (src.[!i] >= 'A' && src.[!i] <= 'Z')
+    then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      let name = String.sub src start (!i - start) in
+      let j = ref !i in
+      while !j < n && (src.[!j] = ' ' || src.[!j] = '\t') do
+        incr j
+      done;
+      (* "name :" declarations/labels, and "formal =>" association names
+         (the formal belongs to the instantiated entity's interface) *)
+      if
+        (!j < n && src.[!j] = ':' && not (!j + 1 < n && src.[!j + 1] = '='))
+        || (!j + 1 < n && src.[!j] = '=' && src.[!j + 1] = '>')
+      then Hashtbl.replace declared (String.lowercase_ascii name) ()
+    end
+    else incr i
+  done;
+  (* pass 2: structural balance *)
+  let count p =
+    List.length (List.filter (fun (_, t) -> String.lowercase_ascii t = p) toks)
+  in
+  let entities = count "entity" in
+  let ends = count "end" in
+  if count "architecture" < 1 then problem 0 "no architecture found";
+  if entities < 1 then problem 0 "no entity found";
+  if count "begin" < 1 then problem 0 "no begin found";
+  (* each "if ... then" is closed by exactly one "end if": the "if" token
+     therefore appears twice per construct (elsif is a distinct token) *)
+  let endifs = ref 0 in
+  let rec pair = function
+    | (_, e) :: ((_, k) :: _ as rest)
+      when String.lowercase_ascii e = "end" && String.lowercase_ascii k = "if" ->
+        incr endifs;
+        pair rest
+    | _ :: rest -> pair rest
+    | [] -> ()
+  in
+  pair toks;
+  if count "if" <> 2 * !endifs then
+    problem 0 "unbalanced if/end if (%d 'if' tokens, %d 'end if')" (count "if")
+      !endifs;
+  if ends < 2 then problem 0 "missing end statements";
+  (* pass 3: every used identifier is declared *)
+  List.iter
+    (fun (line, tok) ->
+      let k = String.lowercase_ascii tok in
+      if not (Hashtbl.mem declared k) then
+        problem line "identifier %S used but never declared" tok)
+    toks;
+  List.rev !issues

@@ -1,0 +1,20 @@
+(** A lightweight structural linter for generated VHDL — the stand-in for
+    running the Xilinx ISE parser the thesis's users would have (DESIGN.md
+    substitutions). It is not a VHDL front end; it checks the invariants the
+    generators are responsible for:
+
+    - [entity]/[architecture]/[process]/[case]/[if] constructs are balanced;
+    - every identifier used in the architecture body is declared (as a port,
+      generic, signal, constant, variable, process label or entity) or is a
+      VHDL keyword / standard-library name;
+    - the file declares exactly one entity and one architecture.
+
+    Catches the regression class where a generator emits a reference to a
+    tracking register it forgot to declare. *)
+
+type issue = { line : int; message : string }
+
+val lint : string -> issue list
+(** Empty list = clean. *)
+
+val pp_issue : Format.formatter -> issue -> unit

@@ -1,0 +1,1 @@
+lib/resources/model.ml: Ast Format List Plan Spec Splice_sis Splice_syntax

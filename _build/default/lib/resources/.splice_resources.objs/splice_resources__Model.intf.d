@@ -1,0 +1,1 @@
+lib/resources/model.mli: Format Spec Splice_syntax

@@ -1,0 +1,1 @@
+lib/resources/report.ml: Buffer List Model Printf String

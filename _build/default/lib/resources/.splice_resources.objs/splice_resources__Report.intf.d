@@ -1,0 +1,1 @@
+lib/resources/report.mli: Model

@@ -1,0 +1,49 @@
+(** Structural FPGA resource estimation — the substitute for the Xilinx ISE
+    synthesis runs behind Fig 9.3 (see DESIGN.md).
+
+    Area is derived from the same structural features that drive the paper's
+    numbers: flip-flops from the registers a design declares (state, tracking
+    counters, index-value registers, data staging), LUTs from its
+    comparators, incrementers, state decode and output multiplexers, plus a
+    per-bus adapter cost and the large DMA engine when enabled. Slice count
+    uses a Virtex-4-style packing model (2 LUTs + 2 FFs per slice at ~80 %
+    packing efficiency).
+
+    Absolute numbers are estimates; the evaluation (EXPERIMENTS.md) only
+    relies on the relative ordering and ratios, as the thesis does. *)
+
+open Splice_syntax
+
+type usage = { luts : int; ffs : int; slices : int }
+
+val zero : usage
+val add : usage -> usage -> usage
+val scale : float -> usage -> usage
+val with_slices : luts:int -> ffs:int -> usage
+(** Fill in the slice estimate from LUT/FF counts. *)
+
+val pp : Format.formatter -> usage -> unit
+
+(** Which interface implementation is being estimated (§9.2.1). *)
+type style =
+  | Generated
+      (** Splice output for [spec.bus_name], including the DMA engine when
+          [spec.dma] *)
+  | Handcoded_naive of string
+      (** a first-attempt hand-coded interface for the given bus: redundant
+          handshaking registers and unoptimised control ("Simple PLB") *)
+  | Handcoded_optimized of string
+      (** an expert hand-coded interface ("Optimized FCB") *)
+
+val stub_interface : Spec.t -> Spec.func -> usage
+(** ICOB + SMB + tracking registers for one function (no calculation
+    logic). *)
+
+val arbiter : Spec.t -> usage
+val adapter : Spec.t -> bus:string -> dma:bool -> usage
+
+val estimate : ?calc_logic:usage -> ?style:style -> Spec.t -> usage
+(** Full-device estimate: interface logic per [style] (default
+    {!Generated}) plus [calc_logic] (the user's calculation hardware,
+    identical across implementations in the Ch 9 experiment; defaults to
+    zero). *)

@@ -1,0 +1,21 @@
+let ratio (a : Model.usage) (b : Model.usage) =
+  float_of_int a.Model.slices /. float_of_int (max 1 b.Model.slices)
+
+let table ~header ~rows =
+  let buf = Buffer.create 512 in
+  let name_w =
+    List.fold_left (fun m (n, _) -> max m (String.length n)) 14 rows
+  in
+  List.iter (fun l -> Buffer.add_string buf (l ^ "\n")) header;
+  Buffer.add_string buf
+    (Printf.sprintf "%-*s %8s %8s %8s %10s\n" name_w "implementation" "LUTs"
+       "FFs" "slices" "vs first");
+  let first = match rows with (_, u) :: _ -> u | [] -> Model.zero in
+  List.iter
+    (fun (name, (u : Model.usage)) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-*s %8d %8d %8d %9.1f%%\n" name_w name u.Model.luts
+           u.Model.ffs u.Model.slices
+           (100.0 *. ratio u first)))
+    rows;
+  Buffer.contents buf

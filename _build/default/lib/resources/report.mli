@@ -1,0 +1,9 @@
+(** Tabular rendering of resource comparisons (the Fig 9.3 layout). *)
+
+val table :
+  header:string list -> rows:(string * Model.usage) list -> string
+(** Fixed-width text table: one row per implementation with LUT/FF/slice
+    columns and a percent-of-first-row column. *)
+
+val ratio : Model.usage -> Model.usage -> float
+(** Slice ratio [a/b]. *)

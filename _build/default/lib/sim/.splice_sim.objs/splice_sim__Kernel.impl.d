@@ -1,0 +1,1 @@
+lib/sim/kernel.ml: Component List Signal

@@ -1,0 +1,1 @@
+lib/sim/signal.ml: Bits List Printf Splice_bits

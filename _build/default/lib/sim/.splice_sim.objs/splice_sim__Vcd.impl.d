@@ -1,0 +1,1 @@
+lib/sim/vcd.ml: Bits Char Kernel List Printf Signal Splice_bits String

@@ -1,0 +1,1 @@
+lib/sim/wave.ml: Bits Buffer Kernel List Printf Signal Splice_bits String

@@ -1,0 +1,4 @@
+type t = { name : string; comb : unit -> unit; seq : unit -> unit }
+
+let nop () = ()
+let make ?(comb = nop) ?(seq = nop) name = { name; comb; seq }

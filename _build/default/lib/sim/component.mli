@@ -1,0 +1,11 @@
+(** A simulation component: a named pair of callbacks.
+
+    [comb] computes combinational outputs from current signal values (run to
+    fixpoint by the kernel before each clock edge); [seq] models the clocked
+    process body (runs once per edge; registered updates must go through
+    [Signal.set_next]). *)
+
+type t = { name : string; comb : unit -> unit; seq : unit -> unit }
+
+val make : ?comb:(unit -> unit) -> ?seq:(unit -> unit) -> string -> t
+(** Missing callbacks default to no-ops. *)

@@ -1,0 +1,68 @@
+type t = {
+  max_comb_iters : int;
+  mutable components : Component.t list; (* reversed *)
+  mutable checks : (string * (int -> unit)) list; (* reversed *)
+  mutable hooks : (int -> unit) list; (* reversed *)
+  mutable settle_hooks : (int -> unit) list; (* reversed *)
+  mutable cycle_count : int;
+}
+
+exception Comb_divergence of { cycle : int; iterations : int }
+exception Timeout of { cycle : int; waiting_for : string }
+exception Check_failed of { cycle : int; check : string; message : string }
+
+let create ?(max_comb_iters = 64) () =
+  {
+    max_comb_iters;
+    components = [];
+    checks = [];
+    hooks = [];
+    settle_hooks = [];
+    cycle_count = 0;
+  }
+
+let add t c = t.components <- c :: t.components
+let add_check t name f = t.checks <- (name, f) :: t.checks
+let check_fail ~cycle ~check message = raise (Check_failed { cycle; check; message })
+let on_cycle_end t f = t.hooks <- f :: t.hooks
+let on_settle t f = t.settle_hooks <- f :: t.settle_hooks
+
+let settle t =
+  let comps = List.rev t.components in
+  let rec go i =
+    if i >= t.max_comb_iters then
+      raise (Comb_divergence { cycle = t.cycle_count; iterations = i });
+    let before = Signal.change_count () in
+    List.iter (fun (c : Component.t) -> c.comb ()) comps;
+    if Signal.change_count () <> before then go (i + 1)
+  in
+  go 0
+
+let cycle t =
+  settle t;
+  List.iter (fun (_, f) -> f t.cycle_count) (List.rev t.checks);
+  List.iter (fun f -> f t.cycle_count) (List.rev t.settle_hooks);
+  List.iter (fun (c : Component.t) -> c.seq ()) (List.rev t.components);
+  Signal.commit_pending ();
+  t.cycle_count <- t.cycle_count + 1;
+  List.iter (fun f -> f t.cycle_count) (List.rev t.hooks)
+
+let run t n =
+  for _ = 1 to n do
+    cycle t
+  done
+
+let run_until ?(max = 100_000) ?(what = "condition") t p =
+  let start = t.cycle_count in
+  let rec go () =
+    if p () then t.cycle_count - start
+    else if t.cycle_count - start >= max then
+      raise (Timeout { cycle = t.cycle_count; waiting_for = what })
+    else begin
+      cycle t;
+      go ()
+    end
+  in
+  go ()
+
+let cycles t = t.cycle_count

@@ -1,0 +1,52 @@
+(** Two-phase synchronous simulation kernel.
+
+    Each {!cycle}:
+    + run every component's [comb] callback repeatedly, in registration order,
+      until no signal changes (fixpoint) — raising {!Comb_divergence} after
+      [max_comb_iters] passes;
+    + run every check registered with {!add_check} (protocol monitors);
+    + run every component's [seq] callback (all observe settled pre-edge
+      values) and commit their deferred writes simultaneously;
+    + fire end-of-cycle hooks (tracing). *)
+
+type t
+
+exception Comb_divergence of { cycle : int; iterations : int }
+exception Timeout of { cycle : int; waiting_for : string }
+exception Check_failed of { cycle : int; check : string; message : string }
+
+val create : ?max_comb_iters:int -> unit -> t
+(** [max_comb_iters] defaults to 64. *)
+
+val add : t -> Component.t -> unit
+(** Evaluation order is registration order (within each fixpoint pass). *)
+
+val add_check : t -> string -> (int -> unit) -> unit
+(** [add_check k name f]: [f cycle] runs after the comb fixpoint each cycle;
+    it should raise {!Check_failed} (via {!check_fail}) on protocol
+    violations. *)
+
+val check_fail : cycle:int -> check:string -> string -> 'a
+(** Raise a {!Check_failed}. *)
+
+val on_cycle_end : t -> (int -> unit) -> unit
+(** Hook fired after the registered updates commit (post-edge view:
+    registered outputs show their new values, combinational signals still
+    show the finished cycle's). *)
+
+val on_settle : t -> (int -> unit) -> unit
+(** Tracing hook fired after the comb fixpoint and the protocol checks but
+    before the clock edge — every signal shows its settled value for the
+    current cycle. This is the view waveforms should record. *)
+
+val cycle : t -> unit
+val run : t -> int -> unit
+(** [run k n] executes [n] cycles. *)
+
+val run_until : ?max:int -> ?what:string -> t -> (unit -> bool) -> int
+(** [run_until k p] cycles until [p ()] is true (tested after each full
+    cycle); returns the number of cycles consumed. Raises {!Timeout} after
+    [max] (default 100_000) cycles. *)
+
+val cycles : t -> int
+(** Total cycles simulated so far. *)

@@ -1,0 +1,66 @@
+open Splice_bits
+
+type t = { name : string; width : int; mutable value : Bits.t }
+
+let changes = ref 0
+let pending : (t * Bits.t) list ref = ref []
+
+let counter = ref 0
+
+let create ?name width =
+  incr counter;
+  let name =
+    match name with Some n -> n | None -> Printf.sprintf "sig%d" !counter
+  in
+  { name; width; value = Bits.zero width }
+
+let name t = t.name
+let width t = t.width
+let get t = t.value
+let get_bool t = Bits.to_bool t.value
+let get_int t = Bits.to_int t.value
+
+let set t v =
+  if Bits.width v <> t.width then
+    raise
+      (Bits.Width_mismatch
+         (Printf.sprintf "Signal.set %s: %d vs %d" t.name (Bits.width v)
+            t.width));
+  if not (Bits.equal t.value v) then begin
+    t.value <- v;
+    incr changes
+  end
+
+let set_bool t b =
+  if t.width <> 1 then
+    raise (Bits.Width_mismatch (Printf.sprintf "Signal.set_bool %s" t.name));
+  set t (Bits.of_bool b)
+
+let set_int t v = set t (Bits.of_int ~width:t.width v)
+
+let set_next t v =
+  if Bits.width v <> t.width then
+    raise
+      (Bits.Width_mismatch
+         (Printf.sprintf "Signal.set_next %s: %d vs %d" t.name (Bits.width v)
+            t.width));
+  pending := (t, v) :: !pending
+
+let set_next_bool t b = set_next t (Bits.of_bool b)
+let set_next_int t v = set_next t (Bits.of_int ~width:t.width v)
+let change_count () = !changes
+
+let commit_pending () =
+  (* Last write wins: the list is newest-first, so remember which signals we
+     have already committed and skip older writes. *)
+  let seen = ref [] in
+  List.iter
+    (fun (s, v) ->
+      if not (List.memq s !seen) then begin
+        seen := s :: !seen;
+        set s v
+      end)
+    !pending;
+  pending := []
+
+let clear_pending () = pending := []

@@ -1,0 +1,52 @@
+(** Simulation signals: named, width-tagged wires with immediate
+    (combinational) and deferred (registered) assignment.
+
+    Combinational drives ({!set}) take effect immediately and bump a global
+    change counter the kernel uses for fixpoint detection. Registered drives
+    ({!set_next}) are queued and commit simultaneously when the kernel calls
+    {!commit_pending} at the clock edge — so every sequential process observes
+    pre-edge values, as in RTL.
+
+    The pending queue is module-global: run one {!Kernel} at a time (the
+    normal case for this simulator; all tests comply). *)
+
+open Splice_bits
+
+type t
+
+val create : ?name:string -> int -> t
+(** [create ~name width] with initial value zero. *)
+
+val name : t -> string
+val width : t -> int
+
+val get : t -> Bits.t
+val get_bool : t -> bool
+(** True iff non-zero (any width). *)
+
+val get_int : t -> int
+
+val set : t -> Bits.t -> unit
+(** Immediate combinational drive. Raises [Bits.Width_mismatch] when widths
+    differ. *)
+
+val set_bool : t -> bool -> unit
+(** For 1-bit signals. *)
+
+val set_int : t -> int -> unit
+(** Masked to the signal width. *)
+
+val set_next : t -> Bits.t -> unit
+(** Deferred registered drive; last write to a signal in a cycle wins. *)
+
+val set_next_bool : t -> bool -> unit
+val set_next_int : t -> int -> unit
+
+val change_count : unit -> int
+(** Global counter incremented whenever any signal actually changes value. *)
+
+val commit_pending : unit -> unit
+(** Apply all queued {!set_next} writes. Called by the kernel. *)
+
+val clear_pending : unit -> unit
+(** Drop queued writes (used when tearing a simulation down mid-cycle). *)

@@ -1,0 +1,49 @@
+open Splice_bits
+
+type traced = { signal : Signal.t; id : string; mutable last : Bits.t option }
+type t = { oc : out_channel; traced : traced list }
+
+(* VCD identifier codes: printable ASCII 33..126 *)
+let id_of_index i =
+  let base = 94 in
+  let rec go i acc =
+    let c = Char.chr (33 + (i mod base)) in
+    let acc = String.make 1 c ^ acc in
+    if i < base then acc else go ((i / base) - 1) acc
+  in
+  go i ""
+
+let emit_value oc tr =
+  let v = Signal.get tr.signal in
+  let changed = match tr.last with None -> true | Some p -> not (Bits.equal p v) in
+  if changed then begin
+    tr.last <- Some v;
+    if Signal.width tr.signal = 1 then
+      Printf.fprintf oc "%s%s\n" (if Bits.to_bool v then "1" else "0") tr.id
+    else Printf.fprintf oc "b%s %s\n" (Bits.to_binary_string v) tr.id
+  end
+
+let create ~path ~module_name signals =
+  let oc = open_out path in
+  Printf.fprintf oc "$date today $end\n$version splice-sim $end\n";
+  Printf.fprintf oc "$timescale 10ns $end\n$scope module %s $end\n" module_name;
+  let traced =
+    List.mapi
+      (fun i s ->
+        let id = id_of_index i in
+        Printf.fprintf oc "$var wire %d %s %s $end\n" (Signal.width s) id
+          (Signal.name s);
+        { signal = s; id; last = None })
+      signals
+  in
+  Printf.fprintf oc "$upscope $end\n$enddefinitions $end\n#0\n";
+  let t = { oc; traced } in
+  List.iter (emit_value oc) traced;
+  t
+
+let attach t kernel =
+  Kernel.on_settle kernel (fun cycle ->
+      Printf.fprintf t.oc "#%d\n" (cycle + 1);
+      List.iter (emit_value t.oc) t.traced)
+
+let close t = close_out t.oc

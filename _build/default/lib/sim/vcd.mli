@@ -1,0 +1,13 @@
+(** Value-change-dump (VCD) tracing for waveform inspection in GTKWave etc. *)
+
+type t
+
+val create : path:string -> module_name:string -> Signal.t list -> t
+(** Opens [path], writes the VCD header declaring each signal under
+    [module_name], and records initial values at time 0. *)
+
+val attach : t -> Kernel.t -> unit
+(** Samples all traced signals at the end of every kernel cycle (one VCD time
+    unit per cycle). *)
+
+val close : t -> unit

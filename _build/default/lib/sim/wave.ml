@@ -1,0 +1,46 @@
+open Splice_bits
+
+type t = { signals : Signal.t list; mutable columns : Bits.t list list (* newest first *) }
+
+let create signals = { signals; columns = [] }
+let sample t = t.columns <- List.map Signal.get t.signals :: t.columns
+let attach t kernel = Kernel.on_settle kernel (fun _ -> sample t)
+
+let render t =
+  let cols = List.rev t.columns in
+  let buf = Buffer.create 256 in
+  let name_width =
+    List.fold_left (fun m s -> max m (String.length (Signal.name s))) 0 t.signals
+  in
+  List.iteri
+    (fun i s ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-*s " name_width (Signal.name s));
+      let last = ref None in
+      List.iter
+        (fun col ->
+          let v = List.nth col i in
+          if Signal.width s = 1 then
+            Buffer.add_string buf (if Bits.to_bool v then "#" else "_")
+          else begin
+            let cell =
+              match !last with
+              | Some p when Bits.equal p v -> "."
+              | _ -> Bits.to_hex_string v
+            in
+            last := Some v;
+            Buffer.add_string buf cell;
+            Buffer.add_char buf ' '
+          end)
+        cols;
+      Buffer.add_char buf '\n')
+    t.signals;
+  Buffer.contents buf
+
+let history t s =
+  let rec index i = function
+    | [] -> raise Not_found
+    | x :: xs -> if x == s then i else index (i + 1) xs
+  in
+  let i = index 0 t.signals in
+  List.rev_map (fun col -> List.nth col i) t.columns

@@ -1,0 +1,20 @@
+(** ASCII waveform capture — renders signal traces in the style of the
+    thesis's timing diagrams (Figs 4.3–4.8), for protocol tests and demos. *)
+
+type t
+
+val create : Signal.t list -> t
+val attach : t -> Kernel.t -> unit
+(** Record one column per simulated cycle, sampled at the settled
+    (mid-cycle) view so combinational and registered signals are
+    consistent. *)
+
+val sample : t -> unit
+(** Manual sampling (when not attached to a kernel). *)
+
+val render : t -> string
+(** One line per signal: 1-bit signals as [_] / [#] (low / high); wider
+    signals as the hex value when it changes and [.] while it holds. *)
+
+val history : t -> Signal.t -> Splice_bits.Bits.t list
+(** Recorded values, oldest first. Raises [Not_found] for untraced signals. *)

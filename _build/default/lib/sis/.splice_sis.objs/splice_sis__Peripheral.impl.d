@@ -1,0 +1,1 @@
+lib/sis/peripheral.ml: Arbiter_model Kernel List Printf Signal Sis_if Sis_monitor Spec Splice_sim Splice_syntax Stub_model

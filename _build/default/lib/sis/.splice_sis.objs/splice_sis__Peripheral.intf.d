@@ -1,0 +1,1 @@
+lib/sis/peripheral.mli: Kernel Sis_if Spec Splice_bits Splice_sim Splice_syntax Stub_model

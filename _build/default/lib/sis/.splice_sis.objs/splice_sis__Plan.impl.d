@@ -1,0 +1,1 @@
+lib/sis/plan.ml: Bits Ctype Format Int64 List Option Printf Spec Splice_bits Splice_syntax

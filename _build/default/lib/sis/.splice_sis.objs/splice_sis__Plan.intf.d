@@ -1,0 +1,1 @@
+lib/sis/plan.mli: Format Spec Splice_bits Splice_syntax

@@ -1,0 +1,1 @@
+lib/sis/sis_if.mli: Signal Splice_sim Splice_syntax

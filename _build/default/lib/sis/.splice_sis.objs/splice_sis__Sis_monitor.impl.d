@@ -1,0 +1,1 @@
+lib/sis/sis_monitor.ml: Bits Format Kernel Signal Sis_if Splice_bits Splice_sim

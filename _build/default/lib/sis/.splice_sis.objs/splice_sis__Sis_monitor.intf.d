@@ -1,0 +1,1 @@
+lib/sis/sis_monitor.mli: Kernel Sis_if Splice_sim

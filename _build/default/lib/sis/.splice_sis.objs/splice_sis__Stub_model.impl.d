@@ -1,0 +1,1 @@
+lib/sis/stub_model.ml: Bits Component Int64 List Plan Printf Signal Sis_if Spec Splice_bits Splice_sim Splice_syntax

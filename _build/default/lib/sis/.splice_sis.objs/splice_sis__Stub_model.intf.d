@@ -1,0 +1,1 @@
+lib/sis/stub_model.mli: Component Signal Sis_if Spec Splice_sim Splice_syntax

@@ -1,0 +1,38 @@
+open Splice_sim
+open Splice_bits
+
+let make ~(sis : Sis_if.t) ~stubs =
+  let ids = List.map fst stubs in
+  List.iter
+    (fun id -> if id <= 0 then invalid_arg "Arbiter_model.make: id must be >= 1")
+    ids;
+  let sorted = List.sort_uniq compare ids in
+  if List.length sorted <> List.length ids then
+    invalid_arg "Arbiter_model.make: duplicate function ids";
+  let width = Signal.width sis.Sis_if.data_out in
+  let comb () =
+    (* output mux, selected by FUNC_ID *)
+    let id = Signal.get_int sis.Sis_if.func_id in
+    (match List.assoc_opt id stubs with
+    | Some (p : Stub_model.ports) ->
+        Signal.set sis.Sis_if.data_out (Signal.get p.data_out);
+        Signal.set_bool sis.Sis_if.data_out_valid
+          (Signal.get_bool p.data_out_valid);
+        Signal.set_bool sis.Sis_if.io_done (Signal.get_bool p.io_done)
+    | None ->
+        Signal.set sis.Sis_if.data_out (Bits.zero width);
+        Signal.set_bool sis.Sis_if.data_out_valid false;
+        Signal.set_bool sis.Sis_if.io_done false);
+    (* CALC_DONE status vector: bit (id-1) per instance *)
+    let vec_width = Signal.width sis.Sis_if.calc_done in
+    let vec =
+      List.fold_left
+        (fun acc (id, (p : Stub_model.ports)) ->
+          if id - 1 < vec_width && Signal.get_bool p.calc_done then
+            Bits.set_bit acc (id - 1) true
+          else acc)
+        (Bits.zero vec_width) stubs
+    in
+    Signal.set sis.Sis_if.calc_done vec
+  in
+  Component.make ~comb "arbiter"

@@ -1,0 +1,350 @@
+open Splice_syntax
+open Splice_bits
+
+type direction = In | Out
+
+type mode =
+  | Simple
+  | Packed of { per_word : int }
+  | Split of { words_per_elem : int }
+  | Struct_fields of {
+      fields : (string * Ctype.info) list;
+      words_per_elem : int;
+    }
+
+type xfer = {
+  io : Spec.io;
+  direction : direction;
+  elems : int;
+  elem_width : int;
+  mode : mode;
+  dma : bool;
+  words : int;
+  ignore_bits : int;
+}
+
+type t = {
+  spec : Spec.t;
+  func : Spec.func;
+  inputs : xfer list;
+  readbacks : xfer list;
+  output : xfer option;
+  wait_required : bool;
+  trigger_write : bool;
+}
+
+let ceil_div a b = (a + b - 1) / b
+
+let words_for ~word_width ~elem_width ~packed ~elems =
+  if elem_width > word_width then elems * ceil_div elem_width word_width
+  else if packed && 2 * elem_width <= word_width then
+    ceil_div elems (word_width / elem_width)
+  else elems
+
+let xfer_of_io spec direction (io : Spec.io) ~values =
+  let elems = Spec.io_elem_count io ~values in
+  if elems <= 0 then
+    invalid_arg
+      (Printf.sprintf "Plan.xfer_of_io: %s has element count %d" io.io_name
+         elems);
+  let w = spec.Spec.bus_width in
+  let ew = io.io_width in
+  let packed = Spec.effective_packed spec io in
+  let mode, words, ignore_bits =
+    if io.Spec.fields <> [] then begin
+      (* struct element: each field in its own word(s), no cross-field
+         packing (§10.2) *)
+      let wpe =
+        List.fold_left
+          (fun acc (_, (i : Ctype.info)) -> acc + ceil_div i.Ctype.width w)
+          0 io.Spec.fields
+      in
+      let pad =
+        List.fold_left
+          (fun acc (_, (i : Ctype.info)) ->
+            acc + ((ceil_div i.Ctype.width w * w) - i.Ctype.width))
+          0 io.Spec.fields
+      in
+      (Struct_fields { fields = io.Spec.fields; words_per_elem = wpe },
+       elems * wpe, pad)
+    end
+    else if ew > w then begin
+      let wpe = ceil_div ew w in
+      (Split { words_per_elem = wpe }, elems * wpe, (wpe * w) - ew)
+    end
+    else if packed then begin
+      let per_word = w / ew in
+      let words = ceil_div elems per_word in
+      let rem = elems mod per_word in
+      let ignore = if rem = 0 then 0 else (per_word - rem) * ew in
+      (Packed { per_word }, words, ignore)
+    end
+    else (Simple, elems, 0)
+  in
+  {
+    io;
+    direction;
+    elems;
+    elem_width = ew;
+    mode;
+    dma = io.is_dma;
+    words;
+    ignore_bits;
+  }
+
+let make spec (func : Spec.func) ~values =
+  let inputs = List.map (fun io -> xfer_of_io spec In io ~values) func.Spec.inputs in
+  let readbacks =
+    List.map (fun io -> xfer_of_io spec Out io ~values) (Spec.readbacks func)
+  in
+  let output = Option.map (fun io -> xfer_of_io spec Out io ~values) func.Spec.output in
+  {
+    spec;
+    func;
+    inputs;
+    readbacks;
+    output;
+    wait_required = output <> None || readbacks <> [] || Spec.blocking_ack func;
+    trigger_write = inputs = [];
+  }
+
+let expected_values x =
+  match x.mode with
+  | Struct_fields { fields; _ } -> x.elems * List.length fields
+  | _ -> x.elems
+
+let total_input_words t =
+  List.fold_left (fun acc x -> acc + x.words) 0 t.inputs
+  + (if t.trigger_write then 1 else 0)
+let total_output_words t =
+  List.fold_left (fun acc x -> acc + x.words) 0 t.readbacks
+  + match t.output with None -> 0 | Some x -> x.words
+
+let pio_words t =
+  List.fold_left (fun acc x -> if x.dma then acc else acc + x.words) 0 t.inputs
+  + List.fold_left (fun acc x -> if x.dma then acc else acc + x.words) 0 t.readbacks
+  + (match t.output with Some x when not x.dma -> x.words | _ -> 0)
+  + (if t.trigger_write then 1 else 0)
+
+let dma_words t =
+  List.fold_left (fun acc x -> if x.dma then acc + x.words else acc) 0 t.inputs
+  + (match t.output with Some x when x.dma -> x.words | _ -> 0)
+
+(* ------------------------------------------------------------------ *)
+(* Element <-> word marshalling                                        *)
+(* ------------------------------------------------------------------ *)
+
+let pack_elements ~word_width ~elem_width values =
+  if elem_width > word_width then
+    (* split: each element becomes ceil(ew/w) words, low word first *)
+    List.concat_map
+      (fun v ->
+        let b = Bits.create ~width:elem_width v in
+        let words_needed = ceil_div elem_width word_width in
+        List.init words_needed (fun i ->
+            let lo = i * word_width in
+            let hi = min (lo + word_width - 1) (elem_width - 1) in
+            Bits.resize (Bits.select b ~hi ~lo) word_width))
+      values
+  else begin
+    let per_word = max 1 (word_width / elem_width) in
+    let rec go acc current n = function
+      | [] ->
+          let acc = if n > 0 then current :: acc else acc in
+          List.rev acc
+      | v :: rest ->
+          let lane =
+            Bits.shift_left
+              (Bits.resize (Bits.create ~width:elem_width v) word_width)
+              (n * elem_width)
+          in
+          let current = Bits.logor current lane in
+          if n + 1 = per_word then go (current :: acc) (Bits.zero word_width) 0 rest
+          else go acc current (n + 1) rest
+    in
+    go [] (Bits.zero word_width) 0 values
+  end
+
+let unpack_elements ~word_width ~elem_width ~elems words =
+  if elem_width > word_width then begin
+    let wpe = ceil_div elem_width word_width in
+    let rec take n xs =
+      if n = 0 then ([], xs)
+      else
+        match xs with
+        | [] -> invalid_arg "Plan.unpack_elements: not enough words"
+        | x :: rest ->
+            let taken, left = take (n - 1) rest in
+            (x :: taken, left)
+    in
+    let rec go remaining words acc =
+      if remaining = 0 then List.rev acc
+      else
+        let ws, rest = take wpe words in
+        (* words arrive low-first: value = sum_i word_i << (i * word_width) *)
+        let v =
+          List.fold_right
+            (fun w acc -> Int64.logor (Int64.shift_left acc word_width) (Bits.to_int64 w))
+            ws 0L
+        in
+        let v =
+          Int64.logand v
+            (if elem_width >= 64 then -1L
+             else Int64.sub (Int64.shift_left 1L elem_width) 1L)
+        in
+        go (remaining - 1) rest (v :: acc)
+    in
+    go elems words []
+  end
+  else begin
+    let per_word = max 1 (word_width / elem_width) in
+    let out = ref [] in
+    let taken = ref 0 in
+    List.iter
+      (fun w ->
+        for lane = 0 to per_word - 1 do
+          if !taken < elems then begin
+            let lo = lane * elem_width in
+            let v = Bits.to_int64 (Bits.select w ~hi:(lo + elem_width - 1) ~lo) in
+            out := v :: !out;
+            incr taken
+          end
+        done)
+      words;
+    if !taken < elems then
+      invalid_arg "Plan.unpack_elements: not enough words";
+    List.rev !out
+  end
+
+let sign_extend_elems ~elem_width ~signed vals =
+  if not signed || elem_width >= 64 then vals
+  else
+    let sign_bit = Int64.shift_left 1L (elem_width - 1) in
+    let ext = Int64.lognot (Int64.sub (Int64.shift_left 1L elem_width) 1L) in
+    List.map
+      (fun v -> if Int64.logand v sign_bit <> 0L then Int64.logor v ext else v)
+      vals
+
+(* mode-aware marshalling: Simple transfers put one element per word even
+   when several would fit (packing must be requested, §3.1.3) *)
+(* one field value -> its word(s), low word first *)
+let field_words ~word_width (i : Ctype.info) v =
+  if i.Ctype.width <= word_width then [ Bits.create ~width:word_width v ]
+  else
+    let b = Bits.create ~width:i.Ctype.width v in
+    List.init (ceil_div i.Ctype.width word_width) (fun k ->
+        let lo = k * word_width in
+        let hi = min (lo + word_width - 1) (i.Ctype.width - 1) in
+        Bits.resize (Bits.select b ~hi ~lo) word_width)
+
+let marshal ~word_width (x : xfer) values =
+  match x.mode with
+  | Simple ->
+      List.map (fun v -> Bits.create ~width:word_width v) values
+  | Packed _ | Split _ ->
+      pack_elements ~word_width ~elem_width:x.elem_width values
+  | Struct_fields { fields; _ } ->
+      (* values are flattened per element: fields in declaration order *)
+      let nf = List.length fields in
+      if List.length values <> x.elems * nf then
+        invalid_arg "Plan.marshal: struct value count mismatch";
+      let rec per_elem values acc =
+        match values with
+        | [] -> List.concat (List.rev acc)
+        | _ ->
+            let words =
+              List.concat
+                (List.map2
+                   (fun (_, info) v -> field_words ~word_width info v)
+                   fields
+                   (List.filteri (fun i _ -> i < nf) values))
+            in
+            per_elem
+              (List.filteri (fun i _ -> i >= nf) values)
+              (words :: acc)
+      in
+      per_elem values []
+
+let unmarshal ~word_width (x : xfer) words =
+  match x.mode with
+  | Simple ->
+      List.map
+        (fun w ->
+          Bits.to_int64 (Bits.select w ~hi:(min (x.elem_width - 1) (word_width - 1)) ~lo:0))
+        words
+  | Packed _ | Split _ ->
+      unpack_elements ~word_width ~elem_width:x.elem_width ~elems:x.elems words
+  | Struct_fields { fields; _ } ->
+      (* decode field by field, sign-extending each per its own type *)
+      let rec take n xs =
+        if n = 0 then ([], xs)
+        else
+          match xs with
+          | [] -> invalid_arg "Plan.unmarshal: not enough struct words"
+          | x :: rest ->
+              let t, l = take (n - 1) rest in
+              (x :: t, l)
+      in
+      let decode_field (i : Ctype.info) ws =
+        let v =
+          List.fold_right
+            (fun w acc ->
+              Int64.logor (Int64.shift_left acc word_width) (Bits.to_int64 w))
+            ws 0L
+        in
+        let v =
+          Int64.logand v
+            (if i.Ctype.width >= 64 then -1L
+             else Int64.sub (Int64.shift_left 1L i.Ctype.width) 1L)
+        in
+        List.hd (sign_extend_elems ~elem_width:i.Ctype.width ~signed:i.Ctype.signed [ v ])
+      in
+      let rec go remaining words acc =
+        if remaining = 0 then List.rev acc
+        else
+          let acc, words =
+            List.fold_left
+              (fun (acc, words) (_, (i : Ctype.info)) ->
+                let ws, rest = take (ceil_div i.Ctype.width word_width) words in
+                (decode_field i ws :: acc, rest))
+              (acc, words) fields
+          in
+          go (remaining - 1) words acc
+      in
+      go x.elems words []
+
+let chunk_words ~burst ~max_burst_words n =
+  if not burst then List.init n (fun _ -> 1)
+  else begin
+    let rec go n acc =
+      if n = 0 then List.rev acc
+      else if n >= 4 && max_burst_words >= 4 then go (n - 4) (4 :: acc)
+      else if n >= 2 && max_burst_words >= 2 then go (n - 2) (2 :: acc)
+      else go (n - 1) (1 :: acc)
+    in
+    go n []
+  end
+
+let pp_xfer fmt x =
+  Format.fprintf fmt "%s %s: %d elem(s) x %d bits -> %d word(s) [%s%s]%s"
+    (match x.direction with In -> "in " | Out -> "out")
+    x.io.Spec.io_name x.elems x.elem_width x.words
+    (match x.mode with
+    | Simple -> "simple"
+    | Packed { per_word } -> Printf.sprintf "packed %d/word" per_word
+    | Split { words_per_elem } -> Printf.sprintf "split %d words/elem" words_per_elem
+    | Struct_fields { fields; words_per_elem } ->
+        Printf.sprintf "struct of %d field(s), %d words/elem" (List.length fields)
+          words_per_elem)
+    (if x.dma then ", dma" else "")
+    (if x.ignore_bits > 0 then Printf.sprintf " (%d trailing bits ignored)" x.ignore_bits
+     else "")
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>plan for %s:@," t.func.Spec.name;
+  List.iter (fun x -> Format.fprintf fmt "  %a@," pp_xfer x) t.inputs;
+  List.iter (fun x -> Format.fprintf fmt "  %a (readback)@," pp_xfer x) t.readbacks;
+  (match t.output with
+  | Some x -> Format.fprintf fmt "  %a@," pp_xfer x
+  | None -> ());
+  Format.fprintf fmt "  wait_required: %b@]" t.wait_required

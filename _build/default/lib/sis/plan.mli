@@ -1,0 +1,115 @@
+(** Word-level transfer planning.
+
+    Maps each input/output of a function to the sequence of bus words needed
+    to move it, implementing the arithmetic behind:
+    - packed transfers (§3.1.3): several small elements per bus word — 4×8-bit
+      chars in one 32-bit word is the thesis's "75% reduction" example;
+    - split transfers (§3.1.4): one wide element over several bus words — a
+      64-bit double over a 32-bit bus takes 2 words, 16 doubles take 32;
+    - DMA transfers (§3.1.5): same word count, moved by the bus DMA engine;
+    - the trailing "erroneous bits" of §5.3.1 when packed/split elements do
+      not fill an integral number of words.
+
+    The same plans feed the driver generator (Ch 6), the user-logic stub
+    model/generator (Ch 5), and the cycle accounting of Ch 9. *)
+
+open Splice_syntax
+
+type direction = In | Out
+
+type mode =
+  | Simple  (** one element per bus word *)
+  | Packed of { per_word : int }  (** [per_word] elements in each bus word *)
+  | Split of { words_per_elem : int }  (** each element spans several words *)
+  | Struct_fields of {
+      fields : (string * Splice_syntax.Ctype.info) list;
+      words_per_elem : int;
+    }
+      (** [%user_struct] element: fields transferred in order, each in its
+          own word(s) (§10.2). Element values are flattened field lists. *)
+
+type xfer = {
+  io : Spec.io;
+  direction : direction;
+  elems : int;  (** runtime element count (implicit refs resolved) *)
+  elem_width : int;
+  mode : mode;
+  dma : bool;
+  words : int;  (** total bus words moved *)
+  ignore_bits : int;
+      (** don't-care bits in the final word (§5.3.1 comment generation) *)
+}
+
+type t = {
+  spec : Spec.t;
+  func : Spec.func;
+  inputs : xfer list;
+  readbacks : xfer list;
+      (** by-reference parameters (§10.2), read back by the driver after the
+          calculation, in declaration order and before the return value *)
+  output : xfer option;
+  wait_required : bool;
+      (** driver must WAIT_FOR_RESULTS before reading / returning:
+          any function with an output, or a blocking void function *)
+  trigger_write : bool;
+      (** functions with no declared inputs are started by one dummy write
+          word (a command-register poke); both the driver and the stub's
+          pseudo input state account for it *)
+}
+
+val expected_values : xfer -> int
+(** Length of the value list a transfer carries: [elems] for scalars,
+    [elems * nfields] for structs. *)
+
+val xfer_of_io :
+  Spec.t -> direction -> Spec.io -> values:(string -> int) -> xfer
+(** [values] supplies runtime values of implicit count variables; it is only
+    consulted for [Ast.Var] counts. Raises [Invalid_argument] on a
+    non-positive element count. *)
+
+val make : Spec.t -> Spec.func -> values:(string -> int) -> t
+
+val total_input_words : t -> int
+val total_output_words : t -> int
+
+val pio_words : t -> int
+(** Words moved by the CPU itself (excludes DMA transfers). *)
+
+val dma_words : t -> int
+
+val pack_elements :
+  word_width:int -> elem_width:int -> int64 list -> Splice_bits.Bits.t list
+(** Pack element values into bus words, first element in the low lanes —
+    the layout §3.1.3 prescribes. Also implements split transfers when
+    [elem_width > word_width] (low word first). *)
+
+val unpack_elements :
+  word_width:int ->
+  elem_width:int ->
+  elems:int ->
+  Splice_bits.Bits.t list ->
+  int64 list
+(** Inverse of {!pack_elements}; drops the trailing ignore bits. *)
+
+val words_for : word_width:int -> elem_width:int -> packed:bool -> elems:int -> int
+(** The bare word-count arithmetic (exposed for property tests). *)
+
+val marshal : word_width:int -> xfer -> int64 list -> Splice_bits.Bits.t list
+(** Mode-aware element→word marshalling: one element per word for [Simple]
+    transfers, {!pack_elements} for packed/split ones. *)
+
+val unmarshal : word_width:int -> xfer -> Splice_bits.Bits.t list -> int64 list
+(** Inverse of {!marshal} (values still unsigned; see
+    {!sign_extend_elems}). *)
+
+val sign_extend_elems :
+  elem_width:int -> signed:bool -> int64 list -> int64 list
+(** Reinterpret unpacked element values as two's-complement when the io's C
+    type is signed (bus words are unsigned bit patterns). *)
+
+val chunk_words : burst:bool -> max_burst_words:int -> int -> int list
+(** Split a word count into driver transaction sizes: greedy quad/double/
+    single bursts when [burst], all singles otherwise (§6.1.1). *)
+
+val pp_xfer : Format.formatter -> xfer -> unit
+val pp : Format.formatter -> t -> unit

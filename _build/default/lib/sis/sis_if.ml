@@ -1,0 +1,47 @@
+open Splice_sim
+
+type t = {
+  rst : Signal.t;
+  data_in : Signal.t;
+  data_in_valid : Signal.t;
+  io_enable : Signal.t;
+  func_id : Signal.t;
+  data_out : Signal.t;
+  data_out_valid : Signal.t;
+  io_done : Signal.t;
+  calc_done : Signal.t;
+}
+
+let create ?(prefix = "sis") ~bus_width ~func_id_width ~instances () =
+  let s name width = Signal.create ~name:(prefix ^ "." ^ name) width in
+  {
+    rst = s "RST" 1;
+    data_in = s "DATA_IN" bus_width;
+    data_in_valid = s "DATA_IN_VALID" 1;
+    io_enable = s "IO_ENABLE" 1;
+    func_id = s "FUNC_ID" func_id_width;
+    data_out = s "DATA_OUT" bus_width;
+    data_out_valid = s "DATA_OUT_VALID" 1;
+    io_done = s "IO_DONE" 1;
+    calc_done = s "CALC_DONE" (max 1 instances);
+  }
+
+let of_spec ?prefix (spec : Splice_syntax.Spec.t) =
+  create ?prefix ~bus_width:spec.bus_width ~func_id_width:spec.func_id_width
+    ~instances:spec.total_instances ()
+
+let signals t =
+  [
+    t.rst;
+    t.data_in;
+    t.data_in_valid;
+    t.io_enable;
+    t.func_id;
+    t.data_out;
+    t.data_out_valid;
+    t.io_done;
+    t.calc_done;
+  ]
+
+let write_presented t = Signal.get_bool t.io_enable && Signal.get_bool t.data_in_valid
+let read_requested t = Signal.get_bool t.io_enable && not (Signal.get_bool t.data_in_valid)

@@ -1,0 +1,38 @@
+(** The Splice Interface Standard signal bundle (Fig 4.2).
+
+    This is the shared interface between a native bus adapter (bus side) and
+    the generated arbiter + user-logic stubs (peripheral side). Broadcast
+    signals are driven by the adapter; the output signals are the arbiter's
+    mux of the per-function ports. *)
+
+open Splice_sim
+
+type t = {
+  rst : Signal.t;  (** broadcast reset *)
+  data_in : Signal.t;  (** bus_width bits, processor → logic *)
+  data_in_valid : Signal.t;
+  io_enable : Signal.t;
+      (** strobed for one cycle at each new read/write request (§4.2.1
+          explains why FUNC_ID alone is not enough) *)
+  func_id : Signal.t;  (** func_id_width bits; id 0 = status register *)
+  data_out : Signal.t;  (** bus_width bits, logic → processor (muxed) *)
+  data_out_valid : Signal.t;
+  io_done : Signal.t;  (** per-function completion strobe (muxed) *)
+  calc_done : Signal.t;
+      (** concatenated per-instance calculation-complete vector; bit [i-1]
+          belongs to function id [i] (§5.2) *)
+}
+
+val create :
+  ?prefix:string -> bus_width:int -> func_id_width:int -> instances:int ->
+  unit -> t
+
+val of_spec : ?prefix:string -> Splice_syntax.Spec.t -> t
+val signals : t -> Signal.t list
+(** All signals, for tracing. *)
+
+val write_presented : t -> bool
+(** [io_enable && data_in_valid] — a write word is being presented. *)
+
+val read_requested : t -> bool
+(** [io_enable && not data_in_valid] — a read is being requested. *)

@@ -1,0 +1,23 @@
+(** Runtime checker for the SIS communication axioms of §4.2.
+
+    Attach to a kernel to have every simulated cycle validated against the
+    protocol; violations raise [Kernel.Check_failed]. Checks:
+
+    - [RST] quiesces the interface: no [IO_ENABLE] while in reset;
+    - a presented write carries a non-zero [FUNC_ID] (id 0 is the read-only
+      status register, §4.2.2);
+    - [DATA_IN], [FUNC_ID] remain static while a write word awaits [IO_DONE];
+    - [FUNC_ID] remains static while a read is outstanding;
+    - [DATA_OUT_VALID] is only asserted together with [IO_DONE] (read
+      responses, Fig 4.3);
+    - [IO_ENABLE] pulses are single-cycle per request (a second cycle must be
+      a new request, i.e. the previous one completed). *)
+
+open Splice_sim
+
+val attach : Kernel.t -> Sis_if.t -> unit
+
+val transactions : Sis_if.t -> unit -> int
+(** [let count = transactions sis in ... count ()] — counts completed SIS
+    word transfers (one per IO_DONE-high cycle) when sampled once per cycle
+    from a kernel hook; exposed for tests. Call {!attach} separately. *)

@@ -1,0 +1,269 @@
+open Splice_sim
+open Splice_syntax
+open Splice_bits
+
+type ports = {
+  data_out : Signal.t;
+  data_out_valid : Signal.t;
+  io_done : Signal.t;
+  calc_done : Signal.t;
+}
+
+let create_ports ?(prefix = "stub") ~bus_width () =
+  let s name width = Signal.create ~name:(prefix ^ "." ^ name) width in
+  {
+    data_out = s "DATA_OUT" bus_width;
+    data_out_valid = s "DATA_OUT_VALID" 1;
+    io_done = s "IO_DONE" 1;
+    calc_done = s "CALC_DONE" 1;
+  }
+
+type behavior = {
+  calc_cycles : (string * int64 list) list -> int;
+  compute : (string * int64 list) list -> int64 list;
+  write_back : (string * int64 list) list -> (string * int64 list) list;
+}
+
+let behavior ?(cycles = 1) ?(write_back = fun _ -> []) compute =
+  { calc_cycles = (fun _ -> cycles); compute; write_back }
+
+let null_behavior =
+  { calc_cycles = (fun _ -> 0); compute = (fun _ -> []); write_back = (fun _ -> []) }
+
+type state = Input of int | Calc | Output
+
+type phase =
+  | PIn of {
+      io : Spec.io option;  (* None = implicit trigger word (no-input funcs) *)
+      idx : int;
+      expected : int;
+      elems : int;
+      got : Bits.t list;  (* newest first *)
+      rest : Spec.io list;
+    }
+  | PCalc of int
+  | POut of Bits.t list
+
+type t = {
+  spec : Spec.t;
+  func : Spec.func;
+  my_id : int;
+  sis : Sis_if.t;
+  ports : ports;
+  behavior : behavior;
+  mutable phase : phase;
+  mutable received : (string * int64 list) list;  (* input order *)
+  mutable pending_read : bool;
+  mutable pending_write : bool;
+      (* a write was presented (IO_ENABLE strobe) while we could not accept;
+         DATA_IN/DATA_IN_VALID stay static until IO_DONE (§4.2.1), so we
+         consume it as soon as an input state is (re-)entered *)
+  mutable completions : int;
+  mutable comp : Component.t;
+}
+
+let values_fn t var =
+  match List.assoc_opt var t.received with
+  | Some (v :: _) -> Int64.to_int v
+  | Some [] | None ->
+      failwith
+        (Printf.sprintf "stub %s: implicit index %s not yet received"
+           t.func.Spec.name var)
+
+let enter_input t idx = function
+  | [] when idx = 0 && t.func.Spec.inputs = [] ->
+      (* no declared inputs: a single trigger word starts the function *)
+      t.phase <- PIn { io = None; idx; expected = 1; elems = 0; got = []; rest = [] }
+  | [] -> (
+      (* all inputs consumed: calculation *)
+      let cycles = t.behavior.calc_cycles t.received in
+      if cycles <= 0 then t.phase <- PCalc 1 (* minimum one calc state (§5.3.1) *)
+      else t.phase <- PCalc cycles)
+  | io :: rest ->
+      let x = Plan.xfer_of_io t.spec Plan.In io ~values:(values_fn t) in
+      t.phase <-
+        PIn { io = Some io; idx; expected = x.Plan.words; elems = x.Plan.elems; got = []; rest }
+
+let reset_to_start t =
+  t.received <- [];
+  t.pending_read <- false;
+  (* pending_write survives: a word presented during the previous call's
+     output state belongs to the next call and is consumed on re-entry *)
+  (match t.func.Spec.inputs with
+  | [] -> enter_input t 0 []
+  | inputs -> enter_input t 0 inputs);
+  Signal.set_next_bool t.ports.calc_done false
+
+let enter_output t =
+  (* readback words for by-reference parameters come first, in declaration
+     order, then the declared return value (§10.2) *)
+  let updates = t.behavior.write_back t.received in
+  let readback_words =
+    List.concat_map
+      (fun (io : Spec.io) ->
+        let x = Plan.xfer_of_io t.spec Plan.Out io ~values:(values_fn t) in
+        let elems =
+          match List.assoc_opt io.Spec.io_name updates with
+          | Some vs ->
+              if List.length vs <> Plan.expected_values x then
+                failwith
+                  (Printf.sprintf
+                     "stub %s: write_back for %s produced %d element(s), plan \
+                      expects %d"
+                     t.func.Spec.name io.Spec.io_name (List.length vs)
+                     (Plan.expected_values x))
+              else vs
+          | None -> (
+              (* unchanged: echo the received values *)
+              match List.assoc_opt io.Spec.io_name t.received with
+              | Some vs -> vs
+              | None -> List.init (Plan.expected_values x) (fun _ -> 0L))
+        in
+        Plan.marshal ~word_width:t.spec.Spec.bus_width x elems)
+      (Spec.readbacks t.func)
+  in
+  let result_words =
+    match t.func.Spec.output with
+    | Some io ->
+        let x = Plan.xfer_of_io t.spec Plan.Out io ~values:(values_fn t) in
+        let elems = t.behavior.compute t.received in
+        if List.length elems <> Plan.expected_values x then
+          failwith
+            (Printf.sprintf
+               "stub %s: behaviour produced %d output element(s), plan \
+                expects %d"
+               t.func.Spec.name (List.length elems) (Plan.expected_values x));
+        Plan.marshal ~word_width:t.spec.Spec.bus_width x elems
+    | None ->
+        ignore (t.behavior.compute t.received);
+        if Spec.blocking_ack t.func then [ Bits.zero t.spec.Spec.bus_width ]
+        else []
+  in
+  let words = readback_words @ result_words in
+  if words = [] then begin
+    (* nowait function: no output state, straight back to inputs *)
+    t.completions <- t.completions + 1;
+    t.received <- [];
+    enter_input t 0 t.func.Spec.inputs
+  end
+  else begin
+    t.phase <- POut words;
+    Signal.set_next_bool t.ports.calc_done true
+  end
+
+let selected t = Signal.get_int t.sis.Sis_if.func_id = t.my_id
+let in_input_state t = match t.phase with PIn _ -> true | _ -> false
+
+let write_presented_to_me t =
+  selected t
+  && Signal.get_bool t.sis.Sis_if.data_in_valid
+  && (Signal.get_bool t.sis.Sis_if.io_enable || t.pending_write)
+  && in_input_state t
+
+let write_stalled t =
+  (* presented but unconsumable: remember it for later *)
+  selected t && Sis_if.write_presented t.sis && not (in_input_state t)
+
+let read_requested_now t = selected t && Sis_if.read_requested t.sis
+
+let output_words t = match t.phase with POut ws -> Some ws | _ -> None
+
+let serving t =
+  match output_words t with
+  | Some (w :: _) when (t.pending_read && selected t) || read_requested_now t ->
+      Some w
+  | _ -> None
+
+let comb t () =
+  let zero = Bits.zero (Signal.width t.ports.data_out) in
+  match serving t with
+  | Some w ->
+      Signal.set t.ports.data_out w;
+      Signal.set_bool t.ports.data_out_valid true;
+      Signal.set_bool t.ports.io_done true
+  | None ->
+      Signal.set t.ports.data_out zero;
+      Signal.set_bool t.ports.data_out_valid false;
+      Signal.set_bool t.ports.io_done (write_presented_to_me t)
+
+let finalize_input t io got_rev =
+  match io with
+  | None -> ()  (* trigger word carries no data *)
+  | Some (io : Spec.io) ->
+      let x = Plan.xfer_of_io t.spec Plan.In io ~values:(values_fn t) in
+      let elems =
+        Plan.unmarshal ~word_width:t.spec.Spec.bus_width x (List.rev got_rev)
+        |> Plan.sign_extend_elems ~elem_width:x.Plan.elem_width
+             ~signed:io.Spec.signed
+      in
+      t.received <- t.received @ [ (io.io_name, elems) ]
+
+let seq t () =
+  if Signal.get_bool t.sis.Sis_if.rst then begin
+    t.pending_write <- false;
+    reset_to_start t
+  end
+  else begin
+    (* capture the serve decision against the pre-edge state: this is what
+       the comb phase actually drove onto the ports this cycle *)
+    let served = serving t <> None in
+    (match t.phase with
+    | PIn p when write_presented_to_me t ->
+        t.pending_write <- false;
+        let got = Signal.get t.sis.Sis_if.data_in :: p.got in
+        if List.length got >= p.expected then begin
+          finalize_input t p.io got;
+          enter_input t (p.idx + 1) p.rest
+        end
+        else t.phase <- PIn { p with got }
+    | PIn _ -> ()
+    | PCalc n ->
+        if write_stalled t then t.pending_write <- true;
+        if n <= 1 then enter_output t else t.phase <- PCalc (n - 1)
+    | POut _ -> if write_stalled t then t.pending_write <- true);
+    (* read service / pending management *)
+    (if served then begin
+       t.pending_read <- false;
+       match t.phase with
+       | POut [ _last ] ->
+           t.completions <- t.completions + 1;
+           reset_to_start t
+       | POut (_ :: rest) -> t.phase <- POut rest
+       | _ -> assert false
+     end
+     else if read_requested_now t then t.pending_read <- true)
+  end
+
+let make ~spec ~func ~instance ~sis ~ports ~behavior =
+  let t =
+    {
+      spec;
+      func;
+      my_id = func.Spec.func_id + instance;
+      sis;
+      ports;
+      behavior;
+      phase = PCalc 1;
+      received = [];
+      pending_read = false;
+      pending_write = false;
+      completions = 0;
+      comp = Component.make "stub";
+    }
+  in
+  (match func.Spec.inputs with [] -> enter_input t 0 [] | l -> enter_input t 0 l);
+  let name = Printf.sprintf "stub:%s#%d" func.Spec.name instance in
+  t.comp <- Component.make ~comb:(comb t) ~seq:(seq t) name;
+  t
+
+let component t = t.comp
+let ports t = t.ports
+let func_id t = t.my_id
+
+let state t =
+  match t.phase with
+  | PIn { idx; _ } -> Input idx
+  | PCalc _ -> Calc
+  | POut _ -> Output
+
+let completions t = t.completions

@@ -1,0 +1,1 @@
+lib/syntax/bus_caps.mli: Format

@@ -1,0 +1,1 @@
+lib/syntax/ctype.ml: Error Hashtbl List

@@ -1,0 +1,1 @@
+lib/syntax/error.ml: Format Loc Printf

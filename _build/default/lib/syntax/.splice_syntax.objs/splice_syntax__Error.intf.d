@@ -1,0 +1,1 @@
+lib/syntax/error.mli: Format Loc

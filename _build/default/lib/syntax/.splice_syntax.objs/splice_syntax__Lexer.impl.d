@@ -1,0 +1,1 @@
+lib/syntax/lexer.ml: Error Int64 List Loc String Token

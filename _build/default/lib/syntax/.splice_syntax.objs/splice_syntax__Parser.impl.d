@@ -1,0 +1,1 @@
+lib/syntax/parser.ml: Ast Error Int64 Lexer List Loc Token

@@ -1,0 +1,1 @@
+lib/syntax/spec.ml: Ast Ctype Format List Printf String

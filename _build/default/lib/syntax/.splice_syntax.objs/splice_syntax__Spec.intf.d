@@ -1,0 +1,1 @@
+lib/syntax/spec.mli: Ast Ctype Format

@@ -1,0 +1,1 @@
+lib/syntax/validate.ml: Ast Bus_caps Ctype Error Format Hashtbl List Loc Option Parser Spec String

@@ -1,0 +1,1 @@
+lib/syntax/validate.mli: Ast Bus_caps Format Loc Spec

@@ -1,0 +1,21 @@
+type t = {
+  name : string;
+  widths : int list;
+  memory_mapped : bool;
+  supports_burst : bool;
+  supports_dma : bool;
+  max_burst_words : int;
+  dma_max_bytes : int;
+  pseudo_async : bool;
+  supports_interrupts : bool;
+}
+
+let pp fmt t =
+  Format.fprintf fmt
+    "%s (widths: %s; %s; burst:%b dma:%b max_burst:%d dma_bytes:%d %s%s)"
+    t.name
+    (String.concat "/" (List.map string_of_int t.widths))
+    (if t.memory_mapped then "memory-mapped" else "opcode-accessed")
+    t.supports_burst t.supports_dma t.max_burst_words t.dma_max_bytes
+    (if t.pseudo_async then "pseudo-asynchronous" else "strictly-synchronous")
+    (if t.supports_interrupts then " +irq" else "")

@@ -1,0 +1,20 @@
+(** Capability description of a target bus, used by the validator to reject
+    specifications that request features the chosen interconnect cannot
+    provide (§3.2.2: "the tool will generate an error message and refuse to
+    proceed"). Concrete values live with the bus implementations in
+    [splice_buses]. *)
+
+type t = {
+  name : string;  (** canonical bus name, e.g. ["plb"] *)
+  widths : int list;  (** legal [%bus_width] values *)
+  memory_mapped : bool;  (** requires [%base_address] (Fig 3.11) *)
+  supports_burst : bool;
+  supports_dma : bool;
+  max_burst_words : int;  (** longest native burst, in bus words *)
+  dma_max_bytes : int;  (** 0 when DMA unsupported (PLB: 256, §2.3.2) *)
+  pseudo_async : bool;  (** false = strictly synchronous (APB, §2.3.1) *)
+  supports_interrupts : bool;
+      (** completion-interrupt line available (§10.2 future work) *)
+}
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,12 @@
+type t = { loc : Loc.t; message : string }
+
+exception Splice_error of t
+
+let fail ?(loc = Loc.dummy) message = raise (Splice_error { loc; message })
+
+let failf ?loc fmt =
+  Format.kasprintf (fun message -> fail ?loc message) fmt
+
+let to_string t =
+  if t.loc = Loc.dummy then t.message
+  else Printf.sprintf "%s: %s" (Loc.to_string t.loc) t.message

@@ -1,0 +1,9 @@
+(** Errors raised by the Splice front-end (lexer, parser, validator). *)
+
+type t = { loc : Loc.t; message : string }
+
+exception Splice_error of t
+
+val fail : ?loc:Loc.t -> string -> 'a
+val failf : ?loc:Loc.t -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+val to_string : t -> string

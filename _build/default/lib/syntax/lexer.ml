@@ -1,0 +1,120 @@
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_digit c = c >= '0' && c <= '9'
+let is_ident c = is_ident_start c || is_digit c
+
+let is_hex_digit c =
+  is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let loc st = { Loc.line = st.line; col = st.col }
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.pos <- st.pos + 1
+
+let rec skip_trivia st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      skip_trivia st
+  | Some '/' when peek2 st = Some '/' ->
+      while peek st <> None && peek st <> Some '\n' do
+        advance st
+      done;
+      skip_trivia st
+  | Some '/' when peek2 st = Some '*' ->
+      let start = loc st in
+      advance st;
+      advance st;
+      let rec close () =
+        match peek st with
+        | None -> Error.fail ~loc:start "unterminated block comment"
+        | Some '*' when peek2 st = Some '/' ->
+            advance st;
+            advance st
+        | Some _ ->
+            advance st;
+            close ()
+      in
+      close ();
+      skip_trivia st
+  | _ -> ()
+
+let lex_ident st =
+  let start = st.pos in
+  while (match peek st with Some c -> is_ident c | None -> false) do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+let lex_number st l =
+  if peek st = Some '0' && (peek2 st = Some 'x' || peek2 st = Some 'X') then begin
+    advance st;
+    advance st;
+    let start = st.pos in
+    while (match peek st with Some c -> is_hex_digit c | None -> false) do
+      advance st
+    done;
+    if st.pos = start then Error.fail ~loc:l "expected hex digits after 0x";
+    let s = String.sub st.src start (st.pos - start) in
+    if String.length s > 16 then
+      Error.fail ~loc:l "hex literal wider than 64 bits";
+    Token.HEX (Int64.of_string ("0x" ^ s))
+  end
+  else begin
+    let start = st.pos in
+    while (match peek st with Some c -> is_digit c | None -> false) do
+      advance st
+    done;
+    let s = String.sub st.src start (st.pos - start) in
+    match int_of_string_opt s with
+    | Some n -> Token.INT n
+    | None -> Error.failf ~loc:l "integer literal %s out of range" s
+  end
+
+let tokenize src =
+  let st = { src; pos = 0; line = 1; col = 1 } in
+  let toks = ref [] in
+  let push tok l = toks := (tok, l) :: !toks in
+  let rec go () =
+    skip_trivia st;
+    let l = loc st in
+    match peek st with
+    | None -> push Token.EOF l
+    | Some c when is_ident_start c -> push (Token.IDENT (lex_ident st)) l; go ()
+    | Some c when is_digit c -> push (lex_number st l) l; go ()
+    | Some c ->
+        let simple tok = advance st; push tok l in
+        (match c with
+        | '*' -> simple Token.STAR
+        | ':' -> simple Token.COLON
+        | '+' -> simple Token.PLUS
+        | '^' -> simple Token.CARET
+        | '&' -> simple Token.AMP
+        | ',' -> simple Token.COMMA
+        | ';' -> simple Token.SEMI
+        | '(' -> simple Token.LPAREN
+        | ')' -> simple Token.RPAREN
+        | '{' -> simple Token.LBRACE
+        | '}' -> simple Token.RBRACE
+        | '%' -> simple Token.PERCENT
+        | c -> Error.failf ~loc:l "unexpected character %C" c);
+        go ()
+  in
+  go ();
+  List.rev !toks

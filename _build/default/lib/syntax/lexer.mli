@@ -1,0 +1,8 @@
+(** Hand-written lexer for the Splice specification language.
+
+    Handles [//] line comments, [/* *]{i /}] block comments, decimal and
+    [0x...] hexadecimal literals, identifiers, and the extension symbols of
+    §3.1. Raises [Error.Splice_error] on unexpected characters. *)
+
+val tokenize : string -> (Token.t * Loc.t) list
+(** Token stream terminated by [EOF]. *)

@@ -1,0 +1,5 @@
+type t = { line : int; col : int }
+
+let dummy = { line = 0; col = 0 }
+let pp fmt t = Format.fprintf fmt "line %d, col %d" t.line t.col
+let to_string t = Format.asprintf "%a" pp t

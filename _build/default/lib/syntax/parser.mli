@@ -1,0 +1,22 @@
+(** Recursive-descent parser for Splice specification files.
+
+    Accepts the complete syntax of Fig 3.8 (interface declarations with any
+    combination of pointer / packed / DMA / count extensions, multi-instance
+    and [nowait] forms) and the directives of Figs 3.9–3.17. Extension symbols
+    are accepted both between the type and the identifier (formal grammar,
+    e.g. [char*:8+ x]) and after the identifier (the prose examples, e.g.
+    [char* x:8+]); duplicates are rejected. Parameter lists may be enclosed in
+    parentheses or, as in Fig 8.2, braces.
+
+    Directive keywords are accepted with underscores ([%bus_type]) or spaces
+    ([%bus type]); [%name] and [%hdl_type] (Fig 8.2) are aliases for
+    [%device_name] and [%target_hdl].
+
+    Raises [Error.Splice_error] with a source location on malformed input. *)
+
+val parse_file : string -> Ast.file
+val parse_decl : string -> Ast.decl
+(** Parse a single interface declaration (must consume all input). *)
+
+val parse_directive : string -> Ast.directive
+(** Parse a single directive line. *)

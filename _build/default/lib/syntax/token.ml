@@ -1,0 +1,38 @@
+type t =
+  | IDENT of string
+  | INT of int
+  | HEX of int64
+  | STAR
+  | COLON
+  | PLUS
+  | CARET
+  | AMP
+  | COMMA
+  | SEMI
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | PERCENT
+  | EOF
+
+let to_string = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT n -> Printf.sprintf "integer %d" n
+  | HEX v -> Printf.sprintf "hex literal 0x%Lx" v
+  | STAR -> "'*'"
+  | COLON -> "':'"
+  | PLUS -> "'+'"
+  | CARET -> "'^'"
+  | AMP -> "'&'"
+  | COMMA -> "','"
+  | SEMI -> "';'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | PERCENT -> "'%'"
+  | EOF -> "end of input"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+let equal (a : t) (b : t) = a = b

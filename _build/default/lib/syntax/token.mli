@@ -1,0 +1,23 @@
+(** Tokens of the Splice specification language (§3 of the thesis). *)
+
+type t =
+  | IDENT of string
+  | INT of int
+  | HEX of int64  (** [0x...] literal, used by [%base_address] (Fig 3.11) *)
+  | STAR  (** pointer extension (§3.1.2) *)
+  | COLON  (** explicit/implicit reference and multi-instance (§3.1.2/3.1.6) *)
+  | PLUS  (** packed-transfer extension (§3.1.3) *)
+  | CARET  (** DMA extension (§3.1.5) *)
+  | AMP  (** pass-by-reference extension (§10.2 future work — implemented) *)
+  | COMMA
+  | SEMI
+  | LPAREN
+  | RPAREN
+  | LBRACE  (** Fig 8.2 writes declarations with braces; both are accepted *)
+  | RBRACE
+  | PERCENT  (** target-specification directive marker (§3.2) *)
+  | EOF
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val equal : t -> t -> bool

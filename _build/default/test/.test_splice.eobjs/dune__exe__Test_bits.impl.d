@@ -1,0 +1,1 @@
+test/test_bits.ml: Alcotest Bits Format Int64 List QCheck QCheck_alcotest Splice

@@ -1,0 +1,1 @@
+test/test_buses.ml: Alcotest Apb Bits Bus_caps Bus_port Cpu Fcb Host Int64 Kernel List Op Option Peripheral Plan Plb Printf Program Registry Signal Sis_if Spec Splice Stub_model Validate

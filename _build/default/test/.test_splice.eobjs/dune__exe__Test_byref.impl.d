@@ -1,0 +1,1 @@
+test/test_byref.ml: Alcotest Ast Astring_contains Drivergen Error Format Hdl_ast Host Int64 List Parser Plan Printf Program Registry Spec Splice Stub_model Stubgen Validate

@@ -1,0 +1,1 @@
+test/test_clint.ml: Alcotest Astring_contains C_lint Filename Format List Printf Project Registry Splice Timer Validate

@@ -1,0 +1,1 @@
+test/test_devices.ml: Alcotest Int64 Interp_scenarios Interpolator List Printf Scanf Spec Splice Timer

@@ -1,0 +1,1 @@
+test/test_driver.ml: Alcotest Array Bits Cpu Host Int64 Kernel List Op Plan Printf Program Registry Spec Splice Stub_model Validate

@@ -1,0 +1,1 @@
+test/test_edge.ml: Alcotest Array Astring_contains Host Int64 List Plan Registry Spec Splice Stub_model Validate

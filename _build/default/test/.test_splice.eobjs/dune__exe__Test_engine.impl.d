@@ -1,0 +1,1 @@
+test/test_engine.ml: Adapter_engine Alcotest Apb Bits Bus Cpu Host Int64 Kernel Lazy List Op Peripheral Plb Registry Sis_if Splice Stub_model Validate Wave

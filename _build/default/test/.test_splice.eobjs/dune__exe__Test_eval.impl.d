@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Astring_contains Cycles Experiment Interpolator Lazy List Printf Registry Resource_report Resources Splice String Tables Validate

@@ -1,0 +1,1 @@
+test/test_fir.ml: Alcotest Fir Int64 List Printf QCheck QCheck_alcotest Spec Splice

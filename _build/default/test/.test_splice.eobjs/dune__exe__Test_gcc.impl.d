@@ -1,0 +1,1 @@
+test/test_gcc.ml: Alcotest Filename Lazy List Printf Project Registry Spec Splice Sys Timer Validate

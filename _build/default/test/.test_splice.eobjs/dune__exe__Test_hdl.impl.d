@@ -1,0 +1,1 @@
+test/test_hdl.ml: Alcotest Astring_contains Hdl_ast Splice Template Verilog Vhdl

@@ -1,0 +1,1 @@
+test/test_lint.ml: Alcotest Astring_contains Filename Format List Printf Project Registry Splice Timer Validate Vhdl_lint

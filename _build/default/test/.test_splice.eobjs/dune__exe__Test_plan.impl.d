@@ -1,0 +1,1 @@
+test/test_plan.ml: Alcotest Bits Int64 List Plan Printf QCheck QCheck_alcotest Registry Spec Splice Validate

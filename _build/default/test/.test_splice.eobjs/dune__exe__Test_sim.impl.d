@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Astring_contains Bits Component Filename Int64 Kernel List Printf Signal Splice Sys Vcd Wave

@@ -1,0 +1,1 @@
+test/test_sis.ml: Alcotest Arbiter_model Astring_contains Bits Int64 Kernel List Peripheral Printf Registry Signal Sis_if Splice Stub_model Validate

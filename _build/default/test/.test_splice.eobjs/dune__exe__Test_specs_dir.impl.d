@@ -1,0 +1,1 @@
+test/test_specs_dir.ml: Alcotest Array Ast Filename List Parser Printf Project Registry Splice Sys Template Timer Validate

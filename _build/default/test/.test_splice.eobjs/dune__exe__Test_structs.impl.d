@@ -1,0 +1,1 @@
+test/test_structs.ml: Alcotest Ast Astring_contains Drivergen Error Format Hdl_ast Host Int64 List Parser Plan Printf Project Registry Spec Splice Stub_model Stubgen Validate

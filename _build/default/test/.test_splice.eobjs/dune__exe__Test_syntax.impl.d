@@ -1,0 +1,1 @@
+test/test_syntax.ml: Alcotest Ast Astring_contains Ctype Error Format Lexer List Loc Option Parser Splice Token

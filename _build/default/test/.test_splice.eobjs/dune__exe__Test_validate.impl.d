@@ -1,0 +1,1 @@
+test/test_validate.ml: Alcotest Astring_contains List Option Printf Registry Spec Splice Validate

@@ -1,0 +1,1 @@
+test/test_waves.ml: Alcotest Astring_contains Bits Host List Printf Registry Sis_if Spec Splice Stub_model Validate Wave

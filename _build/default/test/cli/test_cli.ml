@@ -1,0 +1,78 @@
+(* CLI integration tests: drive the built splice binary end to end through
+   every verb, on the shipped example specifications. *)
+
+let exe = "../../bin/splice_cli.exe"
+
+let run args =
+  let out = Filename.temp_file "splicecli" ".out" in
+  let cmd =
+    Printf.sprintf "%s %s > %s 2>&1" (Filename.quote exe) args (Filename.quote out)
+  in
+  let rc = Sys.command cmd in
+  let ic = open_in out in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove out;
+  (rc, s)
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i =
+    if i + nl > hl then false
+    else if String.sub hay i nl = needle then true
+    else go (i + 1)
+  in
+  nl = 0 || go 0
+
+let check name cond = if not (cond ()) then failwith ("FAILED: " ^ name)
+
+let spec name = Filename.concat "../../examples/specs" name
+
+let () =
+  (* check *)
+  let rc, out = run ("check " ^ spec "hw_timer.splice") in
+  check "check succeeds" (fun () -> rc = 0 && contains out "specification OK");
+  let rc, out = run ("check " ^ spec "nav_points.splice") in
+  check "struct spec checks" (fun () -> rc = 0 && contains out "centroid");
+  (* an invalid spec fails with a diagnostic *)
+  let bad = Filename.temp_file "bad" ".splice" in
+  let oc = open_out bad in
+  output_string oc "%device_name d\n%bus_type nosuchbus\n%bus_width 32\nvoid f(int x);\n";
+  close_out oc;
+  let rc, out = run ("check " ^ bad) in
+  Sys.remove bad;
+  check "bad spec rejected" (fun () -> rc = 1 && contains out "unknown bus");
+  (* plan *)
+  let rc, out = run ("plan " ^ spec "interp.splice") in
+  check "plan lists transfers" (fun () -> rc = 0 && contains out "plan for interp");
+  (* buses *)
+  let rc, out = run "buses" in
+  check "buses lists all seven" (fun () ->
+      rc = 0 && contains out "plb" && contains out "avalon" && contains out "wishbone");
+  (* markers *)
+  let rc, out = run "markers plb" in
+  check "markers lists the standard set" (fun () ->
+      rc = 0 && contains out "%COMP_NAME%" && contains out "%DMA_LOGIC%");
+  (* lint *)
+  let rc, out = run ("lint " ^ spec "fir.splice") in
+  check "lint clean" (fun () -> rc = 0 && contains out "clean");
+  (* gen, with overwrite protection and --linux *)
+  let dir = Filename.temp_file "splicegen" "" in
+  Sys.remove dir;
+  let rc, out = run (Printf.sprintf "gen %s -o %s" (spec "hw_timer.splice") dir) in
+  check "gen writes the Fig 8.3/8.7 file set" (fun () ->
+      rc = 0 && contains out "generated 14 files");
+  check "device subdirectory created (§3.2.3)" (fun () ->
+      Sys.is_directory (Filename.concat dir "hw_timer"));
+  let rc, out = run (Printf.sprintf "gen %s -o %s" (spec "hw_timer.splice") dir) in
+  check "refuses to overwrite without --force" (fun () ->
+      rc = 1 && contains out "already exists");
+  let rc, _ = run (Printf.sprintf "gen %s -o %s --force --linux" (spec "hw_timer.splice") dir) in
+  check "--force --linux regenerates with the kernel module" (fun () ->
+      rc = 0 && Sys.file_exists (Filename.concat dir "hw_timer/hw_timer_linux.c"));
+  (* clean up *)
+  let dev = Filename.concat dir "hw_timer" in
+  Array.iter (fun f -> Sys.remove (Filename.concat dev f)) (Sys.readdir dev);
+  Sys.rmdir dev;
+  Sys.rmdir dir;
+  print_endline "CLI integration tests passed"

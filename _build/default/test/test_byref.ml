@@ -1,0 +1,176 @@
+(* Pass-by-reference parameter tests (§10.2's future-work item,
+   implemented): syntax, validation, planning, generated code, and
+   end-to-end write-back semantics on multiple buses. *)
+
+open Splice
+
+let t name f = Alcotest.test_case name `Quick f
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let contains = Astring_contains.contains
+
+let spec_of ?(bus = "plb") decls =
+  Validate.of_string_exn ~lookup_bus:Registry.lookup_caps
+    (Printf.sprintf
+       "%%device_name d\n%%bus_type %s\n%%bus_width 32\n%%base_address 0x0\n%s"
+       bus decls)
+
+let syntax_tests =
+  [
+    t "'&' parses on pointer parameters" (fun () ->
+        let d = Parser.parse_decl "void f(int*:4& xs);" in
+        check_bool "by_ref" true (List.hd d.Ast.d_params).Ast.p_ext.Ast.by_ref);
+    t "'&' combines with other extensions" (fun () ->
+        let d = Parser.parse_decl "void f(char*:8+& cs);" in
+        let e = (List.hd d.Ast.d_params).Ast.p_ext in
+        check_bool "packed" true e.Ast.packed;
+        check_bool "by_ref" true e.Ast.by_ref);
+    t "duplicate '&' rejected" (fun () ->
+        match Parser.parse_decl "void f(int*:4&& xs);" with
+        | _ -> Alcotest.fail "expected error"
+        | exception Error.Splice_error _ -> ());
+    t "'&' pretty-prints and re-parses" (fun () ->
+        let d = Parser.parse_decl "void f(int*:4& xs);" in
+        check_bool "roundtrip" true
+          (Parser.parse_decl (Format.asprintf "%a" Ast.pp_decl d) = d));
+    t "'&' requires a counted pointer" (fun () ->
+        match
+          Validate.of_string ~lookup_bus:Registry.lookup_caps
+            "%device_name d\n%bus_type plb\n%bus_width 32\n%base_address 0x0\n\
+             void f(int& x);"
+        with
+        | Ok _ -> Alcotest.fail "expected issue"
+        | Error issues ->
+            check_bool "mentions '&'" true
+              (List.exists
+                 (fun i -> contains i.Validate.message "'&'")
+                 issues));
+    t "'&' on a return type rejected" (fun () ->
+        match
+          Validate.of_string ~lookup_bus:Registry.lookup_caps
+            "%device_name d\n%bus_type plb\n%bus_width 32\n%base_address 0x0\n\
+             int*:4& f(int x);"
+        with
+        | Ok _ -> Alcotest.fail "expected issue"
+        | Error _ -> ());
+    t "readbacks listed in declaration order" (fun () ->
+        let spec = spec_of "void f(int*:2& a, int b, int*:3& c);" in
+        let f = List.hd spec.Spec.funcs in
+        Alcotest.(check (list string))
+          "names" [ "a"; "c" ]
+          (List.map (fun (io : Spec.io) -> io.Spec.io_name) (Spec.readbacks f)));
+  ]
+
+let plan_tests =
+  [
+    t "readback words counted in the plan" (fun () ->
+        let spec = spec_of "void f(int*:4& xs);" in
+        let plan = Plan.make spec (List.hd spec.Spec.funcs) ~values:(fun _ -> 0) in
+        check_int "input words" 4 (Plan.total_input_words plan);
+        check_int "output words (readback)" 4 (Plan.total_output_words plan);
+        check_bool "wait required" true plan.Plan.wait_required);
+    t "void function with readbacks needs no ack word" (fun () ->
+        let spec = spec_of "void f(int*:2& xs);" in
+        check_bool "no pseudo ack" false (Spec.blocking_ack (List.hd spec.Spec.funcs)));
+    t "driver program reads back then returns" (fun () ->
+        let spec = spec_of "int f(int*:2& xs);" in
+        let plan = Plan.make spec (List.hd spec.Spec.funcs) ~values:(fun _ -> 0) in
+        let prog =
+          Program.of_plan ~max_burst_words:1 ~supports_dma:false plan
+            ~args:[ ("xs", [ 1L; 2L ]) ]
+        in
+        check_int "3 read words (2 readback + 1 result)" 3
+          (Program.expected_read_words prog));
+  ]
+
+let codegen_tests =
+  [
+    t "stub gains OUT_<param> states (§10.2)" (fun () ->
+        let spec = spec_of "int f(int*:4& xs, int y);" in
+        Alcotest.(check (list string))
+          "states"
+          [ "IN_xs"; "IN_y"; "CALC"; "OUT_xs"; "OUT_RESULT" ]
+          (Stubgen.state_names (List.hd spec.Spec.funcs));
+        let s = Stubgen.generate spec (List.hd spec.Spec.funcs) in
+        check_bool "readback comment" true (contains s "by-reference parameter 'xs'");
+        check_bool "valid" true
+          (Hdl_ast.validate (Stubgen.design spec (List.hd spec.Spec.funcs)) = Ok ()));
+    t "C driver reads back into the caller's pointer" (fun () ->
+        let spec = spec_of "void normalize(int n, int*:n& xs);" in
+        let src = Drivergen.driver_function spec (List.hd spec.Spec.funcs) in
+        check_bool "readback comment" true (contains src "Read back updated 'xs'");
+        check_bool "reads into xs" true (contains src "READ_SINGLE(func_addr, (uint32_t *)xs + w)");
+        check_bool "no ack read" false (contains src "uint32_t ack"));
+  ]
+
+let scale2 = Stub_model.behavior ~cycles:3
+    ~write_back:(fun inputs ->
+      [ ("xs", List.map (Int64.mul 2L) (List.assoc "xs" inputs)) ])
+    (fun inputs -> [ List.fold_left Int64.add 0L (List.assoc "xs" inputs) ])
+
+let endtoend_tests =
+  List.map
+    (fun bus ->
+      t (Printf.sprintf "write-back doubles the array on %s" bus) (fun () ->
+          let spec = spec_of ~bus "int scale2(int n, int*:n& xs);" in
+          let host = Host.create spec ~behaviors:(fun _ -> scale2) in
+          let xs = [ 3L; -4L; 5L ] in
+          let result, readbacks, _ =
+            Host.call_full host ~func:"scale2"
+              ~args:[ ("n", [ 3L ]); ("xs", xs) ]
+          in
+          Alcotest.(check (list int64)) "sum result" [ 4L ] result;
+          Alcotest.(check (list int64))
+            "doubled in place" [ 6L; -8L; 10L ]
+            (List.assoc "xs" readbacks)))
+    [ "plb"; "fcb"; "apb" ]
+  @ [
+      t "parameters without write_back echo their inputs" (fun () ->
+          let spec = spec_of "void f(int*:2& xs);" in
+          let host =
+            Host.create spec ~behaviors:(fun _ -> Stub_model.behavior (fun _ -> []))
+          in
+          let _, readbacks, _ =
+            Host.call_full host ~func:"f" ~args:[ ("xs", [ 9L; 10L ]) ]
+          in
+          Alcotest.(check (list int64)) "echoed" [ 9L; 10L ] (List.assoc "xs" readbacks));
+      t "two by-ref parameters read back in order" (fun () ->
+          let spec = spec_of "void f(int*:2& a, int*:2& b);" in
+          let host =
+            Host.create spec ~behaviors:(fun _ ->
+                Stub_model.behavior
+                  ~write_back:(fun inputs ->
+                    [
+                      ("a", List.map Int64.neg (List.assoc "a" inputs));
+                      ("b", List.map Int64.succ (List.assoc "b" inputs));
+                    ])
+                  (fun _ -> []))
+          in
+          let _, readbacks, _ =
+            Host.call_full host ~func:"f"
+              ~args:[ ("a", [ 1L; 2L ]); ("b", [ 10L; 20L ]) ]
+          in
+          Alcotest.(check (list int64)) "a" [ -1L; -2L ] (List.assoc "a" readbacks);
+          Alcotest.(check (list int64)) "b" [ 11L; 21L ] (List.assoc "b" readbacks));
+      t "repeated calls keep working (stub returns to inputs)" (fun () ->
+          let spec = spec_of "int scale2(int n, int*:n& xs);" in
+          let host = Host.create spec ~behaviors:(fun _ -> scale2) in
+          for i = 1 to 3 do
+            let v = Int64.of_int i in
+            let result, readbacks, _ =
+              Host.call_full host ~func:"scale2" ~args:[ ("n", [ 1L ]); ("xs", [ v ]) ]
+            in
+            Alcotest.(check (list int64)) "sum" [ v ] result;
+            Alcotest.(check (list int64))
+              "doubled" [ Int64.mul 2L v ]
+              (List.assoc "xs" readbacks)
+          done);
+    ]
+
+let tests =
+  [
+    ("byref.syntax", syntax_tests);
+    ("byref.plan", plan_tests);
+    ("byref.codegen", codegen_tests);
+    ("byref.end-to-end", endtoend_tests);
+  ]

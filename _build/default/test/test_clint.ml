@@ -1,0 +1,92 @@
+(* C-output sanity: every generated .c/.h across every bus and feature
+   combination passes the C lint (balanced nesting, include guards, no
+   unexpanded markers), and the linter catches its target defect classes. *)
+
+open Splice
+
+let t name f = Alcotest.test_case name `Quick f
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let lint_software ?(linux = false) spec =
+  let p = Project.generate ~gen_date:"lint" ~linux spec in
+  List.concat_map
+    (fun (f : Project.file) ->
+      let is_c = Filename.check_suffix f.path ".c" in
+      let is_h = Filename.check_suffix f.path ".h" in
+      if is_c || is_h then
+        List.map
+          (fun (i : C_lint.issue) -> (f.path, i))
+          (C_lint.lint ~header:is_h f.contents)
+      else [])
+    (Project.files p)
+
+let expect_clean name ?linux spec =
+  match lint_software ?linux spec with
+  | [] -> ()
+  | (path, i) :: _ ->
+      Alcotest.failf "%s: %s: %s" name path
+        (Format.asprintf "%a" C_lint.pp_issue i)
+
+let spec_of ?(bus = "plb") ?(extra = "") decls =
+  Validate.of_string_exn ~lookup_bus:Registry.lookup_caps
+    (Printf.sprintf
+       "%%device_name d\n%%bus_type %s\n%%bus_width 32\n%%base_address 0x0\n%s%s"
+       bus extra decls)
+
+let clean_tests =
+  List.map
+    (fun bus ->
+      t (Printf.sprintf "%s driver sources lint clean" bus) (fun () ->
+          expect_clean bus
+            (spec_of ~bus "int f(int n, int*:n xs);\nvoid g(double d):2;")))
+    [ "plb"; "opb"; "fcb"; "apb"; "ahb"; "wishbone"; "avalon" ]
+  @ [
+      t "timer drivers lint clean (Ch 8)" (fun () ->
+          expect_clean "timer" (Timer.spec ()));
+      t "feature soup drivers lint clean" (fun () ->
+          expect_clean "soup"
+            (spec_of
+               ~extra:
+                 "%burst_support true\n%dma_support true\n%interrupt_support \
+                  true\n%user_struct pt { int x; int y; }\n"
+               "char packed_sink(char*:9+ cs);\n\
+                void updater(int n, int*:n& xs);\n\
+                pt centroid(int n, pt*:n ps);\n\
+                int*:8 table(int seed);"));
+      t "Linux kernel module + shim lint clean (§10.2)" (fun () ->
+          expect_clean "linux" ~linux:true
+            (spec_of ~extra:"%interrupt_support true\n" "int f(int x);"));
+    ]
+
+let defect_tests =
+  [
+    t "catches an unclosed brace" (fun () ->
+        let issues = C_lint.lint "int f(void) { if (1) { return 0; }" in
+        check_bool "caught" true
+          (List.exists
+             (fun (i : C_lint.issue) ->
+               Astring_contains.contains i.message "unclosed")
+             issues));
+    t "catches mismatched closers" (fun () ->
+        check_bool "caught" true (C_lint.lint "int f(void) { return (1]; }" <> []));
+    t "ignores braces inside strings and comments" (fun () ->
+        check_int "clean" 0
+          (List.length
+             (C_lint.lint
+                "/* { */ int f(void) { const char *s = \"}{\"; return s[0] == '{'; }")));
+    t "headers need include guards" (fun () ->
+        check_bool "caught" true
+          (List.exists
+             (fun (i : C_lint.issue) ->
+               Astring_contains.contains i.message "guard")
+             (C_lint.lint ~header:true "int x;")));
+    t "catches unexpanded markers" (fun () ->
+        check_bool "caught" true
+          (List.exists
+             (fun (i : C_lint.issue) ->
+               Astring_contains.contains i.message "marker")
+             (C_lint.lint "int x = %WIDTH%;")));
+  ]
+
+let tests = [ ("clint.clean", clean_tests); ("clint.defects", defect_tests) ]

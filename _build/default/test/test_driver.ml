@@ -1,0 +1,224 @@
+(* Driver-layer tests: program generation from plans (Fig 6.1/6.2 structure),
+   macro chunking, the CPU model, and Host end-to-end conventions. *)
+
+open Splice
+
+let t name f = Alcotest.test_case name `Quick f
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let spec_of ?(bus = "plb") ?(extra = "") decls =
+  Validate.of_string_exn ~lookup_bus:Registry.lookup_caps
+    (Printf.sprintf
+       "%%device_name d\n%%bus_type %s\n%%bus_width 32\n%%base_address 0x0\n%s%s"
+       bus extra decls)
+
+let program_for ?(values = fun _ -> 4) ?(instance = 0) ?(burst_words = 4)
+    ?(dma = true) ?lean spec args =
+  let f = List.hd spec.Spec.funcs in
+  let plan = Plan.make spec f ~values in
+  Program.of_plan ~instance ?lean ~max_burst_words:burst_words ~supports_dma:dma
+    plan ~args
+
+let shape prog =
+  List.map
+    (fun op ->
+      match op with
+      | Op.Set_address _ -> "addr"
+      | Op.Write_single _ -> "w1"
+      | Op.Write_double _ -> "w2"
+      | Op.Write_quad _ -> "w4"
+      | Op.Write_burst _ -> "wN"
+      | Op.Read_single _ -> "r1"
+      | Op.Read_double _ -> "r2"
+      | Op.Read_quad _ -> "r4"
+      | Op.Read_burst _ -> "rN"
+      | Op.Write_dma _ -> "wdma"
+      | Op.Read_dma _ -> "rdma"
+      | Op.Wait_for_results _ -> "wait")
+    prog
+
+let program_tests =
+  [
+    t "Fig 6.1 shape: writes, wait, read" (fun () ->
+        let spec = spec_of "float sample_function(int*:2 x, int y);" in
+        let prog =
+          program_for spec [ ("x", [ 1L; 2L ]); ("y", [ 3L ]) ]
+        in
+        Alcotest.(check (list string))
+          "shape"
+          [ "addr"; "w1"; "w1"; "w1"; "wait"; "r1" ]
+          (shape prog));
+    t "burst drivers use double/quad macros (§6.1.1)" (fun () ->
+        let spec =
+          spec_of ~bus:"fcb" ~extra:"%burst_support true\n" "void f(int*:7 xs);"
+        in
+        let prog = program_for spec [ ("xs", List.init 7 Int64.of_int) ] in
+        Alcotest.(check (list string))
+          "7 = 4+2+1, then blocking ack"
+          [ "addr"; "w4"; "w2"; "w1"; "wait"; "r1" ]
+          (shape prog));
+    t "multi-instance targets func_id + inst_index (Fig 6.2)" (fun () ->
+        let spec = spec_of "int f(int x):3;" in
+        let prog = program_for ~instance:2 spec [ ("x", [ 5L ]) ] in
+        List.iter (fun op -> check_int "id 3" 3 (Op.func_id op)) prog);
+    t "instance out of range rejected" (fun () ->
+        let spec = spec_of "int f(int x):2;" in
+        match program_for ~instance:2 spec [ ("x", [ 5L ]) ] with
+        | _ -> Alcotest.fail "expected rejection"
+        | exception Invalid_argument _ -> ());
+    t "nowait program has no wait and no read (§3.1.7)" (fun () ->
+        let spec = spec_of "nowait f(int x);" in
+        Alcotest.(check (list string))
+          "shape" [ "addr"; "w1" ]
+          (shape (program_for spec [ ("x", [ 1L ]) ])));
+    t "no-input function gets a trigger write" (fun () ->
+        let spec = spec_of "void f();" in
+        Alcotest.(check (list string))
+          "shape" [ "addr"; "w1"; "wait"; "r1" ]
+          (shape (program_for spec [])));
+    t "dma ops for ^ parameters (§6.1.2)" (fun () ->
+        let spec =
+          spec_of ~extra:"%dma_support true\n" "int f(int n, int*:n^ xs);"
+        in
+        let prog =
+          program_for spec [ ("n", [ 4L ]); ("xs", [ 1L; 2L; 3L; 4L ]) ]
+        in
+        Alcotest.(check (list string))
+          "shape"
+          [ "addr"; "w1"; "wdma"; "wait"; "r1" ]
+          (shape prog));
+    t "lean drivers drop SET_ADDRESS and null WAIT" (fun () ->
+        let spec = spec_of "int f(int x);" in
+        Alcotest.(check (list string))
+          "shape" [ "w1"; "r1" ]
+          (shape (program_for ~lean:true spec [ ("x", [ 1L ]) ])));
+    t "missing argument rejected" (fun () ->
+        let spec = spec_of "void f(int x);" in
+        match program_for spec [] with
+        | _ -> Alcotest.fail "expected rejection"
+        | exception Invalid_argument _ -> ());
+    t "wrong element count rejected" (fun () ->
+        let spec = spec_of "void f(int*:3 xs);" in
+        match program_for spec [ ("xs", [ 1L ]) ] with
+        | _ -> Alcotest.fail "expected rejection"
+        | exception Invalid_argument _ -> ());
+    t "expected_read_words accounts for result + ack" (fun () ->
+        let spec = spec_of "double f(int x);" in
+        check_int "2 words" 2
+          (Program.expected_read_words (program_for spec [ ("x", [ 1L ]) ])));
+  ]
+
+let host_tests =
+  [
+    t "64-bit values split and reassemble across the 32-bit bus (§3.1.4)"
+      (fun () ->
+        let spec =
+          spec_of ~extra:"%user_type llong, unsigned long long, 64\n"
+            "llong f(llong x);"
+        in
+        let host =
+          Host.create spec ~behaviors:(fun _ ->
+              Stub_model.behavior (fun inputs ->
+                  [ Int64.add 1L (List.hd (List.assoc "x" inputs)) ]))
+        in
+        let big = 0x1122334455667788L in
+        let r, _ = Host.call host ~func:"f" ~args:[ ("x", [ big ]) ] in
+        Alcotest.(check int64) "64-bit" (Int64.add big 1L) (List.hd r));
+    t "packed char array round trip (§3.1.3)" (fun () ->
+        let spec = spec_of "char f(char*:9+ cs);" in
+        let host =
+          Host.create spec ~behaviors:(fun _ ->
+              Stub_model.behavior (fun inputs ->
+                  [ List.fold_left Int64.logxor 0L (List.assoc "cs" inputs) ]))
+        in
+        let cs = List.init 9 (fun i -> Int64.of_int (i * 17 land 0xff)) in
+        let expected = List.fold_left Int64.logxor 0L cs in
+        let expected =
+          List.hd (Plan.sign_extend_elems ~elem_width:8 ~signed:true [ Int64.logand expected 0xffL ])
+        in
+        let r, _ = Host.call host ~func:"f" ~args:[ ("cs", cs) ] in
+        Alcotest.(check int64) "xor" expected (List.hd r));
+    t "signed results come back negative" (fun () ->
+        let spec = spec_of "int f(int x);" in
+        let host =
+          Host.create spec ~behaviors:(fun _ ->
+              Stub_model.behavior (fun inputs ->
+                  [ Int64.neg (List.hd (List.assoc "x" inputs)) ]))
+        in
+        let r, _ = Host.call host ~func:"f" ~args:[ ("x", [ 42L ]) ] in
+        Alcotest.(check int64) "neg" (-42L) (List.hd r));
+    t "multi-value output returned in order (§6.1.1)" (fun () ->
+        let spec = spec_of "int*:4 f(int x);" in
+        let host =
+          Host.create spec ~behaviors:(fun _ ->
+              Stub_model.behavior (fun inputs ->
+                  let x = List.hd (List.assoc "x" inputs) in
+                  List.init 4 (fun i -> Int64.add x (Int64.of_int i))))
+        in
+        let r, _ = Host.call host ~func:"f" ~args:[ ("x", [ 10L ]) ] in
+        Alcotest.(check (list int64)) "values" [ 10L; 11L; 12L; 13L ] r);
+    t "two functions interleave on one host" (fun () ->
+        let spec = spec_of "int inc(int x);\nint dec(int x);" in
+        let host =
+          Host.create spec ~behaviors:(fun name ->
+              Stub_model.behavior (fun inputs ->
+                  let x = List.hd (List.assoc "x" inputs) in
+                  [ (if name = "inc" then Int64.add x 1L else Int64.sub x 1L) ]))
+        in
+        for i = 0 to 4 do
+          let x = Int64.of_int (i * 7) in
+          let r, _ = Host.call host ~func:"inc" ~args:[ ("x", [ x ]) ] in
+          Alcotest.(check int64) "inc" (Int64.add x 1L) (List.hd r);
+          let r, _ = Host.call host ~func:"dec" ~args:[ ("x", [ x ]) ] in
+          Alcotest.(check int64) "dec" (Int64.sub x 1L) (List.hd r)
+        done);
+    t "multi-instance calls address distinct hardware (Fig 6.2)" (fun () ->
+        let counters = Array.make 2 0L in
+        let spec = spec_of "int bump(int x):2;" in
+        let host =
+          Host.create spec ~behaviors:(fun _ ->
+              (* each stub instance gets its own behaviour closure state via
+                 the shared array indexed by first argument *)
+              Stub_model.behavior (fun inputs ->
+                  let idx = Int64.to_int (List.hd (List.assoc "x" inputs)) in
+                  counters.(idx) <- Int64.add counters.(idx) 1L;
+                  [ counters.(idx) ]))
+        in
+        let r0, _ = Host.call host ~instance:0 ~func:"bump" ~args:[ ("x", [ 0L ]) ] in
+        let r1, _ = Host.call host ~instance:1 ~func:"bump" ~args:[ ("x", [ 1L ]) ] in
+        let r0', _ = Host.call host ~instance:0 ~func:"bump" ~args:[ ("x", [ 0L ]) ] in
+        Alcotest.(check int64) "first" 1L (List.hd r0);
+        Alcotest.(check int64) "other instance" 1L (List.hd r1);
+        Alcotest.(check int64) "second" 2L (List.hd r0'));
+    t "unknown function raises Not_found" (fun () ->
+        let spec = spec_of "void f(int x);" in
+        let host = Host.create spec ~behaviors:(fun _ -> Stub_model.null_behavior) in
+        match Host.call host ~func:"nope" ~args:[] with
+        | _ -> Alcotest.fail "expected Not_found"
+        | exception Not_found -> ());
+    t "issue overhead increases cycle counts monotonically" (fun () ->
+        let run overhead =
+          let spec = spec_of "int f(int*:4 xs);" in
+          let host =
+            Host.create spec ~issue_overhead:overhead ~behaviors:(fun _ ->
+                Stub_model.behavior (fun _ -> [ 0L ]))
+          in
+          snd (Host.call host ~func:"f" ~args:[ ("xs", [ 1L; 2L; 3L; 4L ]) ])
+        in
+        check_bool "monotone" true (run 1 < run 3 && run 3 < run 6));
+    t "cpu refuses to load while running" (fun () ->
+        let spec = spec_of "void f(int x);" in
+        let host = Host.create spec ~behaviors:(fun _ -> Stub_model.null_behavior) in
+        let cpu = Host.cpu host in
+        Cpu.load cpu [ Op.Write_single (1, Bits.zero 32) ];
+        (match Cpu.load cpu [] with
+        | () -> Alcotest.fail "expected failure"
+        | exception Failure _ -> ());
+        (* drain *)
+        ignore
+          (Kernel.run_until ~max:100 ~what:"drain" (Host.kernel host) (fun () ->
+               not (Cpu.running cpu))));
+  ]
+
+let tests = [ ("driver.program", program_tests); ("driver.host", host_tests) ]

@@ -1,0 +1,138 @@
+(* Edge-case integration tests: 64-bit data paths, packing on wide buses,
+   by-ref/nowait interaction, deep multi-instance addressing, and long
+   mixed-call sequences on one host. *)
+
+open Splice
+
+let t name f = Alcotest.test_case name `Quick f
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let spec64 decls =
+  Validate.of_string_exn ~lookup_bus:Registry.lookup_caps
+    ("%device_name d\n%bus_type plb\n%bus_width 64\n%base_address 0x0\n" ^ decls)
+
+let tests_list =
+  [
+    t "64-bit bus: doubles move in single words" (fun () ->
+        let spec = spec64 "double f(double x);" in
+        let plan = Plan.make spec (List.hd spec.Spec.funcs) ~values:(fun _ -> 0) in
+        check_int "1 word in" 1 (Plan.total_input_words plan);
+        check_int "1 word out" 1 (Plan.total_output_words plan);
+        let host =
+          Host.create spec ~behaviors:(fun _ ->
+              Stub_model.behavior (fun inputs ->
+                  [ Int64.mul 3L (List.hd (List.assoc "x" inputs)) ]))
+        in
+        let r, _ = Host.call host ~func:"f" ~args:[ ("x", [ 0x123456789ABCDEFL ]) ] in
+        Alcotest.(check int64) "tripled" (Int64.mul 3L 0x123456789ABCDEFL) (List.hd r));
+    t "64-bit bus packs pairs of 32-bit ints (§3.1.3)" (fun () ->
+        let spec = spec64 "int f(int*:6+ xs);" in
+        let plan = Plan.make spec (List.hd spec.Spec.funcs) ~values:(fun _ -> 0) in
+        check_int "3 words" 3 (Plan.total_input_words plan);
+        let host =
+          Host.create spec ~behaviors:(fun _ ->
+              Stub_model.behavior (fun inputs ->
+                  [ List.fold_left Int64.add 0L (List.assoc "xs" inputs) ]))
+        in
+        let xs = [ 1L; -2L; 3L; -4L; 5L; -6L ] in
+        let r, _ = Host.call host ~func:"f" ~args:[ ("xs", xs) ] in
+        Alcotest.(check int64) "sum" (-3L) (List.hd r));
+    t "by-ref on a nowait function is rejected" (fun () ->
+        match
+          Validate.of_string ~lookup_bus:Registry.lookup_caps
+            "%device_name d\n%bus_type plb\n%bus_width 32\n%base_address 0x0\n\
+             nowait f(int*:4& xs);"
+        with
+        | Ok _ -> Alcotest.fail "expected rejection"
+        | Error issues ->
+            check_bool "mentions nowait" true
+              (List.exists
+                 (fun i -> Astring_contains.contains i.Validate.message "nowait")
+                 issues));
+    t "eight instances address independently (3-bit FUNC_ID)" (fun () ->
+        let spec =
+          Validate.of_string_exn ~lookup_bus:Registry.lookup_caps
+            "%device_name d\n%bus_type plb\n%bus_width 32\n%base_address 0x0\n\
+             int slot(int x):7;"
+        in
+        check_int "3-bit id field" 3 spec.Spec.func_id_width;
+        let last_seen = Array.make 7 0L in
+        let host =
+          Host.create spec ~behaviors:(fun _ ->
+              Stub_model.behavior (fun inputs ->
+                  let v = List.hd (List.assoc "x" inputs) in
+                  let slot = Int64.to_int (Int64.rem v 7L) in
+                  last_seen.(slot) <- v;
+                  [ v ]))
+        in
+        for i = 0 to 6 do
+          let v = Int64.of_int (100 + i) in
+          let r, _ = Host.call host ~instance:i ~func:"slot" ~args:[ ("x", [ v ]) ] in
+          Alcotest.(check int64) "echo" v (List.hd r)
+        done);
+    t "long mixed-call sequence stays consistent (100 calls)" (fun () ->
+        let spec =
+          Validate.of_string_exn ~lookup_bus:Registry.lookup_caps
+            "%device_name d\n%bus_type fcb\n%bus_width 32\n%burst_support true\n\
+             int acc(int x);\nint sum4(int*:4 xs);\nnowait poke(int v);"
+        in
+        let total = ref 0L in
+        let host =
+          Host.create spec ~behaviors:(fun name ->
+              match name with
+              | "acc" ->
+                  Stub_model.behavior (fun inputs ->
+                      total := Int64.add !total (List.hd (List.assoc "x" inputs));
+                      [ !total ])
+              | "sum4" ->
+                  Stub_model.behavior (fun inputs ->
+                      [ List.fold_left Int64.add 0L (List.assoc "xs" inputs) ])
+              | _ -> Stub_model.null_behavior)
+        in
+        let expect = ref 0L in
+        for i = 1 to 100 do
+          match i mod 3 with
+          | 0 ->
+              let v = Int64.of_int i in
+              expect := Int64.add !expect v;
+              let r, _ = Host.call host ~func:"acc" ~args:[ ("x", [ v ]) ] in
+              Alcotest.(check int64) "running total" !expect (List.hd r)
+          | 1 ->
+              let xs = List.init 4 (fun j -> Int64.of_int (i + j)) in
+              let r, _ = Host.call host ~func:"sum4" ~args:[ ("xs", xs) ] in
+              Alcotest.(check int64)
+                "sum" (List.fold_left Int64.add 0L xs) (List.hd r)
+          | _ ->
+              let _, c = Host.call host ~func:"poke" ~args:[ ("v", [ 1L ]) ] in
+              check_bool "nowait is quick" true (c < 20)
+        done);
+    t "bool-typed parameters travel as single bits" (fun () ->
+        let spec =
+          Validate.of_string_exn ~lookup_bus:Registry.lookup_caps
+            "%device_name d\n%bus_type plb\n%bus_width 32\n%base_address 0x0\n\
+             bool toggle(bool b);"
+        in
+        let host =
+          Host.create spec ~behaviors:(fun _ ->
+              Stub_model.behavior (fun inputs ->
+                  [ Int64.logxor 1L (List.hd (List.assoc "b" inputs)) ]))
+        in
+        let r, _ = Host.call host ~func:"toggle" ~args:[ ("b", [ 1L ]) ] in
+        Alcotest.(check int64) "toggled" 0L (List.hd r));
+    t "largest packed transfer: 64 chars on a 64-bit bus" (fun () ->
+        let spec = spec64 "char f(char*:64+ cs);" in
+        let plan = Plan.make spec (List.hd spec.Spec.funcs) ~values:(fun _ -> 0) in
+        check_int "8 words" 8 (Plan.total_input_words plan);
+        let host =
+          Host.create spec ~behaviors:(fun _ ->
+              Stub_model.behavior (fun inputs ->
+                  [ List.fold_left Int64.logxor 0L (List.assoc "cs" inputs) ]))
+        in
+        let cs = List.init 64 (fun i -> Int64.of_int (i * 5 land 0x7f)) in
+        let expected = List.fold_left Int64.logxor 0L cs in
+        let r, _ = Host.call host ~func:"f" ~args:[ ("cs", cs) ] in
+        Alcotest.(check int64) "xor" expected (List.hd r));
+  ]
+
+let tests = [ ("edge", tests_list) ]

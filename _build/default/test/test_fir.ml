@@ -1,0 +1,104 @@
+(* FIR filter device tests, including a qcheck property comparing the
+   simulated hardware against the software reference for random taps and
+   sample blocks, on multiple buses. *)
+
+open Splice
+
+let t name f = Alcotest.test_case name `Quick f
+let check_int = Alcotest.(check int)
+let check_i64 = Alcotest.(check int64)
+
+let last l = match List.rev l with v :: _ -> v | [] -> 0L
+
+let unit_tests =
+  [
+    t "spec validates with 6 hardware instances" (fun () ->
+        let spec = Fir.spec () in
+        check_int "instances" 6 spec.Spec.total_instances;
+        check_int "3 functions" 3 (List.length spec.Spec.funcs));
+    t "identity tap passes samples through" (fun () ->
+        let fir = Fir.create () in
+        ignore (Fir.set_taps fir [ 1L ]);
+        let v, _ = Fir.filter fir [ 5L; 6L; 7L ] in
+        check_i64 "last" 7L v);
+    t "moving sum matches reference" (fun () ->
+        let fir = Fir.create () in
+        let taps = [ 1L; 2L; 3L ] in
+        ignore (Fir.set_taps fir taps);
+        let samples = [ 1L; 1L; 1L; 1L ] in
+        let v, _ = Fir.filter fir samples in
+        check_i64 "last" (last (Fir.reference_outputs ~taps samples)) v);
+    t "channels hold independent coefficients (§3.1.6)" (fun () ->
+        let fir = Fir.create () in
+        ignore (Fir.set_taps ~channel:0 fir [ 1L ]);
+        ignore (Fir.set_taps ~channel:1 fir [ 10L ]);
+        let v0, _ = Fir.filter ~channel:0 fir [ 3L ] in
+        let v1, _ = Fir.filter ~channel:1 fir [ 3L ] in
+        check_i64 "ch0" 3L v0;
+        check_i64 "ch1" 30L v1);
+    t "negative coefficients survive the bus (sign handling)" (fun () ->
+        let fir = Fir.create () in
+        ignore (Fir.set_taps fir [ 1L; -1L ]);
+        let v, _ = Fir.filter fir [ 10L; 4L ] in
+        check_i64 "edge" (-6L) v);
+    t "decimate returns every k-th output" (fun () ->
+        let fir = Fir.create () in
+        ignore (Fir.set_taps fir [ 1L ]);
+        let samples = List.init 9 (fun i -> Int64.of_int (i + 1)) in
+        let outs, _ = Fir.decimate fir ~every:3 samples in
+        Alcotest.(check (list int64)) "picked" [ 3L; 6L; 9L ] outs);
+    t "decimate rejects blocks shorter than the stride" (fun () ->
+        let fir = Fir.create () in
+        ignore (Fir.set_taps fir [ 1L ]);
+        match Fir.decimate fir ~every:8 [ 1L; 2L ] with
+        | _ -> Alcotest.fail "expected rejection"
+        | exception Invalid_argument _ -> ());
+    t "taps can be reloaded between blocks" (fun () ->
+        let fir = Fir.create () in
+        ignore (Fir.set_taps fir [ 1L ]);
+        let v1, _ = Fir.filter fir [ 9L ] in
+        ignore (Fir.set_taps fir [ 2L ]);
+        let v2, _ = Fir.filter fir [ 9L ] in
+        check_i64 "before" 9L v1;
+        check_i64 "after" 18L v2);
+  ]
+
+let prop name arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count:40 ~name arb f)
+
+let arb_case =
+  QCheck.make
+    ~print:(fun (bus, taps, samples) ->
+      Printf.sprintf "bus=%s taps=%d samples=%d" bus (List.length taps)
+        (List.length samples))
+    QCheck.Gen.(
+      let small = map (fun v -> Int64.of_int (v - 128)) (int_bound 255) in
+      triple
+        (oneofl [ "plb"; "fcb"; "wishbone" ])
+        (list_size (int_range 1 8) small)
+        (list_size (int_range 1 16) small))
+
+let property_tests =
+  [
+    prop "hardware filter equals software reference" arb_case
+      (fun (bus, taps, samples) ->
+        let fir = Fir.create ~bus () in
+        ignore (Fir.set_taps fir taps);
+        let v, _ = Fir.filter fir samples in
+        v = last (Fir.reference_outputs ~taps samples));
+    prop "decimate is a strided view of the reference" arb_case
+      (fun (bus, taps, samples) ->
+        QCheck.assume (List.length samples >= 2);
+        let fir = Fir.create ~bus () in
+        ignore (Fir.set_taps fir taps);
+        let every = 2 in
+        let outs, _ = Fir.decimate fir ~every samples in
+        let expected =
+          Fir.reference_outputs ~taps samples
+          |> List.filteri (fun i _ -> i mod every = every - 1)
+        in
+        let m = List.length samples / every in
+        let expected = List.filteri (fun i _ -> i < m) expected in
+        outs = expected);
+  ]
+
+let tests = [ ("devices.fir", unit_tests @ property_tests) ]

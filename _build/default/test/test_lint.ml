@@ -1,0 +1,112 @@
+(* VHDL lint tests: the generated output of every bus / feature combination
+   must come out clean, and the linter must actually catch the defect
+   classes it exists for. *)
+
+open Splice
+
+let t name f = Alcotest.test_case name `Quick f
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let lint_project spec =
+  let p = Project.generate ~gen_date:"lint" spec in
+  List.concat_map
+    (fun (f : Project.file) ->
+      if Filename.check_suffix f.path ".vhd" then
+        List.map
+          (fun (i : Vhdl_lint.issue) -> (f.path, i))
+          (Vhdl_lint.lint f.contents)
+      else [])
+    (Project.files p)
+
+let expect_clean name spec =
+  match lint_project spec with
+  | [] -> ()
+  | (path, i) :: _ ->
+      Alcotest.failf "%s: %s: %s" name path
+        (Format.asprintf "%a" Vhdl_lint.pp_issue i)
+
+let spec_of ?(bus = "plb") ?(extra = "") decls =
+  Validate.of_string_exn ~lookup_bus:Registry.lookup_caps
+    (Printf.sprintf
+       "%%device_name d\n%%bus_type %s\n%%bus_width 32\n%%base_address 0x0\n%s%s"
+       bus extra decls)
+
+let clean_tests =
+  List.map
+    (fun bus ->
+      t (Printf.sprintf "generated %s project lints clean" bus) (fun () ->
+          expect_clean bus
+            (spec_of ~bus
+               "int f(int n, int*:n xs);\nvoid g(double d):2;\nnowait h(char c);")))
+    [ "plb"; "opb"; "fcb"; "apb"; "ahb"; "wishbone"; "avalon" ]
+  @ [
+      t "timer project lints clean (Ch 8)" (fun () ->
+          expect_clean "timer" (Timer.spec ()));
+      t "feature soup lints clean (packing, by-ref, structs, interrupts)"
+        (fun () ->
+          expect_clean "soup"
+            (spec_of
+               ~extra:
+                 "%burst_support true\n%dma_support true\n%interrupt_support \
+                  true\n%user_struct pt { int x; int y; }\n"
+               "char packed_sink(char*:9+ cs);\n\
+                void updater(int n, int*:n& xs);\n\
+                pt centroid(int n, pt*:n ps);\n\
+                int dma_sum(int n, int*:n^ xs);"));
+    ]
+
+let defect_tests =
+  [
+    t "linter catches an undeclared identifier" (fun () ->
+        let bad =
+          "entity e is port (CLK : in std_logic); end entity e;\n\
+           architecture rtl of e is\n\
+           begin\n\
+           \  mystery <= CLK;\n\
+           end architecture rtl;\n"
+        in
+        check_bool "caught" true
+          (List.exists
+             (fun (i : Vhdl_lint.issue) ->
+               Astring_contains.contains i.message "mystery")
+             (Vhdl_lint.lint bad)));
+    t "linter catches a missing end if" (fun () ->
+        let bad =
+          "entity e is port (CLK : in std_logic); end entity e;\n\
+           architecture rtl of e is\n\
+           signal q : std_logic;\n\
+           begin\n\
+           \  p : process (CLK)\n\
+           \  begin\n\
+           \    if rising_edge(CLK) then\n\
+           \      q <= '1';\n\
+           \  end process p;\n\
+           end architecture rtl;\n"
+        in
+        check_bool "caught" true
+          (List.exists
+             (fun (i : Vhdl_lint.issue) ->
+               Astring_contains.contains i.message "if")
+             (Vhdl_lint.lint bad)));
+    t "linter catches a missing architecture" (fun () ->
+        let bad = "entity e is port (CLK : in std_logic); end entity e;\n" in
+        check_bool "caught" true
+          (List.exists
+             (fun (i : Vhdl_lint.issue) ->
+               Astring_contains.contains i.message "architecture")
+             (Vhdl_lint.lint bad)));
+    t "comments and strings do not confuse the linter" (fun () ->
+        let src =
+          "-- undeclared_in_comment <= thing;\n\
+           entity e is port (CLK : in std_logic); end entity e;\n\
+           architecture rtl of e is\n\
+           signal v : std_logic_vector(7 downto 0);\n\
+           begin\n\
+           \  v <= \"10101010\";\n\
+           end architecture rtl;\n"
+        in
+        check_int "clean" 0 (List.length (Vhdl_lint.lint src)));
+  ]
+
+let tests = [ ("lint.clean", clean_tests); ("lint.defects", defect_tests) ]

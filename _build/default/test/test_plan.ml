@@ -1,0 +1,181 @@
+(* Transfer planner tests: packing (§3.1.3), split (§3.1.4), DMA (§3.1.5),
+   the thesis's worked word-count examples, and marshalling properties. *)
+
+open Splice
+
+let t name f = Alcotest.test_case name `Quick f
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let spec_of ?(bus = "plb") ?(extra = "") decls =
+  Validate.of_string_exn ~lookup_bus:Registry.lookup_caps
+    (Printf.sprintf
+       "%%device_name d\n%%bus_type %s\n%%bus_width 32\n%%base_address 0x0\n%s%s"
+       bus extra decls)
+
+let plan_of ?bus ?extra ?(values = fun _ -> 0) decls =
+  let spec = spec_of ?bus ?extra decls in
+  Plan.make spec (List.hd spec.Spec.funcs) ~values
+
+let words_tests =
+  [
+    t "scalar int is one word" (fun () ->
+        check_int "1" 1 (Plan.total_input_words (plan_of "void f(int x);")));
+    t "64-bit scalar splits into 2 words (§3.1.4)" (fun () ->
+        check_int "2" 2 (Plan.total_input_words (plan_of "void f(double x);")));
+    t "16 doubles take 32 transmission cycles (§3.1.4)" (fun () ->
+        check_int "32" 32
+          (Plan.total_input_words (plan_of "void f(double*:16 xs);")));
+    t "4 packed chars in one word (§3.1.3: 75% reduction)" (fun () ->
+        let unpacked = plan_of "void f(char*:4 cs);" in
+        let packed = plan_of "void f(char*:4+ cs);" in
+        check_int "unpacked" 4 (Plan.total_input_words unpacked);
+        check_int "packed" 1 (Plan.total_input_words packed));
+    t "8 packed chars take 2 cycles (§3.1.3 example)" (fun () ->
+        check_int "2" 2 (Plan.total_input_words (plan_of "void f(char*:8+ cs);")));
+    t "ignore bits reported for ragged packing (§5.3.1)" (fun () ->
+        let p = plan_of "void f(char*:5+ cs);" in
+        let x = List.hd p.Plan.inputs in
+        check_int "words" 2 x.Plan.words;
+        check_int "3 unused lanes = 24 bits" 24 x.Plan.ignore_bits);
+    t "split leaves no ignore bits when exact" (fun () ->
+        let p = plan_of "void f(double*:2 xs);" in
+        check_int "0" 0 (List.hd p.Plan.inputs).Plan.ignore_bits);
+    t "implicit counts use runtime values" (fun () ->
+        let p = plan_of ~values:(fun _ -> 6) "void f(int n, int*:n xs);" in
+        check_int "1 + 6" 7 (Plan.total_input_words p));
+    t "global packing directive packs implicitly (§3.2.2)" (fun () ->
+        let p =
+          plan_of ~extra:"%packing_support true\n" ~values:(fun _ -> 8)
+            "void f(char n, char*:n cs);"
+        in
+        (* the scalar count is NOT packed; the array is: 8 chars -> 2 words *)
+        check_int "1 + 2" 3 (Plan.total_input_words p));
+    t "trigger write for no-input functions" (fun () ->
+        let p = plan_of "void f();" in
+        check_bool "trigger" true p.Plan.trigger_write;
+        check_int "one word" 1 (Plan.total_input_words p));
+    t "wait_required" (fun () ->
+        check_bool "void blocks" true (plan_of "void f(int x);").Plan.wait_required;
+        check_bool "valued blocks" true (plan_of "int f(int x);").Plan.wait_required;
+        check_bool "nowait doesn't" false
+          (plan_of "nowait f(int x);").Plan.wait_required);
+    t "dma vs pio word accounting" (fun () ->
+        let p =
+          plan_of ~extra:"%dma_support true\n" "int f(int n, int*:n^ xs);"
+            ~values:(fun _ -> 8)
+        in
+        check_int "dma words" 8 (Plan.dma_words p);
+        (* pio: n (1) + result (1) *)
+        check_int "pio words" 2 (Plan.pio_words p));
+    t "zero element count rejected" (fun () ->
+        match plan_of ~values:(fun _ -> 0) "void f(int n, int*:n xs);" with
+        | _ -> Alcotest.fail "expected error"
+        | exception Invalid_argument _ -> ());
+    t "output plan present and counted" (fun () ->
+        let p = plan_of "double f(int x);" in
+        check_int "2 words out" 2 (Plan.total_output_words p));
+  ]
+
+let chunk_tests =
+  [
+    t "no burst = all singles (§6.1.1)" (fun () ->
+        Alcotest.(check (list int))
+          "singles" [ 1; 1; 1; 1; 1 ]
+          (Plan.chunk_words ~burst:false ~max_burst_words:4 5));
+    t "burst chunks greedily quad/double/single" (fun () ->
+        Alcotest.(check (list int))
+          "7 = 4+2+1" [ 4; 2; 1 ]
+          (Plan.chunk_words ~burst:true ~max_burst_words:4 7));
+    t "burst respects max words" (fun () ->
+        Alcotest.(check (list int))
+          "double max" [ 2; 2; 1 ]
+          (Plan.chunk_words ~burst:true ~max_burst_words:2 5));
+    t "chunks always sum to the word count" (fun () ->
+        for n = 0 to 40 do
+          let sum l = List.fold_left ( + ) 0 l in
+          check_int "sum" n (sum (Plan.chunk_words ~burst:true ~max_burst_words:4 n))
+        done);
+  ]
+
+let marshal_xfer ?(packed = false) ~elem_width ~elems () =
+  let ty, count =
+    match elem_width with
+    | 8 -> ("char", elems)
+    | 16 -> ("short", elems)
+    | 32 -> ("int", elems)
+    | 64 -> ("double", elems)
+    | _ -> invalid_arg "marshal_xfer"
+  in
+  let decl =
+    Printf.sprintf "void f(%s*:%d%s xs);" ty count (if packed then "+" else "")
+  in
+  let p = plan_of decl in
+  List.hd p.Plan.inputs
+
+let marshal_tests =
+  [
+    t "packed marshalling puts first element in low lanes (§3.1.3)" (fun () ->
+        let x = marshal_xfer ~packed:true ~elem_width:8 ~elems:4 () in
+        match Plan.marshal ~word_width:32 x [ 0x11L; 0x22L; 0x33L; 0x44L ] with
+        | [ w ] -> Alcotest.(check int64) "layout" 0x44332211L (Bits.to_int64 w)
+        | _ -> Alcotest.fail "one word expected");
+    t "split marshalling sends the low word first (§3.1.4)" (fun () ->
+        let x = marshal_xfer ~elem_width:64 ~elems:1 () in
+        match Plan.marshal ~word_width:32 x [ 0x1122334455667788L ] with
+        | [ lo; hi ] ->
+            Alcotest.(check int64) "lo" 0x55667788L (Bits.to_int64 lo);
+            Alcotest.(check int64) "hi" 0x11223344L (Bits.to_int64 hi)
+        | _ -> Alcotest.fail "two words expected");
+    t "simple mode does not pack" (fun () ->
+        let x = marshal_xfer ~elem_width:8 ~elems:3 () in
+        check_int "3 words" 3 (List.length (Plan.marshal ~word_width:32 x [ 1L; 2L; 3L ])));
+    t "sign extension of unpacked values" (fun () ->
+        Alcotest.(check (list int64))
+          "neg" [ -1L; 127L ]
+          (Plan.sign_extend_elems ~elem_width:8 ~signed:true [ 0xFFL; 0x7FL ]);
+        Alcotest.(check (list int64))
+          "unsigned untouched" [ 0xFFL ]
+          (Plan.sign_extend_elems ~elem_width:8 ~signed:false [ 0xFFL ]));
+  ]
+
+(* property: marshal/unmarshal roundtrip across widths, counts and modes *)
+let prop name arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count:200 ~name arb f)
+
+let arb_marshal_case =
+  QCheck.make
+    ~print:(fun (ew, packed, vals) ->
+      Printf.sprintf "ew=%d packed=%b n=%d" ew packed (List.length vals))
+    QCheck.Gen.(
+      oneofl [ 8; 16; 32; 64 ] >>= fun ew ->
+      bool >>= fun packed ->
+      int_range 1 17 >>= fun n ->
+      let mask =
+        if ew >= 64 then -1L else Int64.sub (Int64.shift_left 1L ew) 1L
+      in
+      map
+        (fun raw -> (ew, packed, List.map (fun v -> Int64.logand v mask) raw))
+        (list_size (return n) ui64))
+
+let property_tests =
+  [
+    prop "marshal/unmarshal roundtrip" arb_marshal_case (fun (ew, packed, vals) ->
+        let x = marshal_xfer ~packed ~elem_width:ew ~elems:(List.length vals) () in
+        let words = Plan.marshal ~word_width:32 x vals in
+        List.length words = x.Plan.words
+        && Plan.unmarshal ~word_width:32 x words = vals);
+    prop "words_for consistent with xfer planning" arb_marshal_case
+      (fun (ew, packed, vals) ->
+        let x = marshal_xfer ~packed ~elem_width:ew ~elems:(List.length vals) () in
+        x.Plan.words
+        = Plan.words_for ~word_width:32 ~elem_width:ew
+            ~packed:(match x.Plan.mode with Plan.Packed _ -> true | _ -> false)
+            ~elems:(List.length vals));
+  ]
+
+let tests =
+  [
+    ("plan.words", words_tests);
+    ("plan.chunks", chunk_tests);
+    ("plan.marshal", marshal_tests @ property_tests);
+  ]

@@ -1,0 +1,68 @@
+(* Resource-model unit tests (the Fig 9.3 bands live in test_eval.ml). *)
+
+open Splice
+
+let t name f = Alcotest.test_case name `Quick f
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let spec_of ?(extra = "") decls =
+  Validate.of_string_exn ~lookup_bus:Registry.lookup_caps
+    ("%device_name d\n%bus_type plb\n%bus_width 32\n%base_address 0x0\n" ^ extra
+   ^ decls)
+
+let tests_list =
+  [
+    t "usage arithmetic" (fun () ->
+        let a = Resources.with_slices ~luts:10 ~ffs:4 in
+        let b = Resources.with_slices ~luts:2 ~ffs:8 in
+        let s = Resources.add a b in
+        check_int "luts" 12 s.Resources.luts;
+        check_int "ffs" 12 s.Resources.ffs;
+        check_bool "slices positive" true (s.Resources.slices > 0);
+        let d = Resources.scale 2.0 a in
+        check_int "scaled" 20 d.Resources.luts);
+    t "slice estimate follows the larger of LUTs/FFs" (fun () ->
+        let lut_heavy = Resources.with_slices ~luts:100 ~ffs:10 in
+        let ff_heavy = Resources.with_slices ~luts:10 ~ffs:100 in
+        check_int "same slices" lut_heavy.Resources.slices ff_heavy.Resources.slices);
+    t "implicit counts cost more tracking logic than fixed ones" (fun () ->
+        let fixed = spec_of "void f(int*:4 xs);" in
+        let implicit = spec_of "void f(int n, int*:n xs);" in
+        let u s = (Resources.estimate s).Resources.slices in
+        check_bool "implicit bigger" true (u implicit > u fixed));
+    t "DMA adapter dwarfs the simple one (§9.3.2)" (fun () ->
+        let spec = spec_of "void f(int x);" in
+        let simple = Resources.adapter spec ~bus:"plb" ~dma:false in
+        let dma = Resources.adapter spec ~bus:"plb" ~dma:true in
+        check_bool "much bigger" true
+          (float_of_int dma.Resources.slices
+          > 2.0 *. float_of_int simple.Resources.slices));
+    t "FCB adapter smaller than PLB adapter" (fun () ->
+        let spec = spec_of "void f(int x);" in
+        let plb = Resources.adapter spec ~bus:"plb" ~dma:false in
+        let fcb = Resources.adapter spec ~bus:"fcb" ~dma:false in
+        check_bool "smaller" true (fcb.Resources.slices < plb.Resources.slices));
+    t "multi-instance functions scale stub cost (§5.2)" (fun () ->
+        let one = spec_of "int f(int x);" in
+        let four = spec_of "int f(int x):4;" in
+        let u s = (Resources.estimate s).Resources.slices in
+        check_bool "about 4x the stub part" true (u four > 2 * u one));
+    t "naive > generated > optimized for the same spec (§9.3.2)" (fun () ->
+        let spec = spec_of "int f(int n, int*:n xs);" in
+        let u style = (Resources.estimate ~style spec).Resources.slices in
+        check_bool "naive largest" true
+          (u (Resources.Handcoded_naive "plb") > u Resources.Generated);
+        check_bool "optimized smallest" true
+          (u (Resources.Handcoded_optimized "plb") < u Resources.Generated));
+    t "calc logic adds on top of the interface" (fun () ->
+        let spec = spec_of "int f(int x);" in
+        let base = (Resources.estimate spec).Resources.slices in
+        let with_calc =
+          (Resources.estimate ~calc_logic:(Resources.with_slices ~luts:100 ~ffs:50) spec)
+            .Resources.slices
+        in
+        check_bool "bigger" true (with_calc > base));
+  ]
+
+let tests = [ ("resources.model", tests_list) ]

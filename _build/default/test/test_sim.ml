@@ -1,0 +1,213 @@
+(* Simulation kernel semantics: two-phase evaluation, register commit,
+   fixpoint detection, checks, waveform capture. *)
+
+open Splice
+
+let t name f = Alcotest.test_case name `Quick f
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let signal_tests =
+  [
+    t "initial value is zero" (fun () ->
+        let s = Signal.create ~name:"s" 8 in
+        check_bool "zero" true (Bits.is_zero (Signal.get s)));
+    t "set is immediate" (fun () ->
+        let s = Signal.create 8 in
+        Signal.set_int s 42;
+        check_int "visible" 42 (Signal.get_int s));
+    t "set width checked" (fun () ->
+        let s = Signal.create 8 in
+        Alcotest.check_raises "width"
+          (Bits.Width_mismatch (Printf.sprintf "Signal.set %s: 4 vs 8" (Signal.name s)))
+          (fun () -> Signal.set s (Bits.zero 4)));
+    t "set_next is deferred until commit" (fun () ->
+        let s = Signal.create 8 in
+        Signal.set_next_int s 7;
+        check_int "not yet" 0 (Signal.get_int s);
+        Signal.commit_pending ();
+        check_int "now" 7 (Signal.get_int s));
+    t "last set_next wins" (fun () ->
+        let s = Signal.create 8 in
+        Signal.set_next_int s 1;
+        Signal.set_next_int s 2;
+        Signal.commit_pending ();
+        check_int "last" 2 (Signal.get_int s));
+    t "change_count increments only on real change" (fun () ->
+        let s = Signal.create 8 in
+        Signal.set_int s 5;
+        let c = Signal.change_count () in
+        Signal.set_int s 5;
+        check_int "no change" c (Signal.change_count ());
+        Signal.set_int s 6;
+        check_int "changed" (c + 1) (Signal.change_count ()));
+    t "clear_pending drops writes" (fun () ->
+        let s = Signal.create 8 in
+        Signal.set_next_int s 9;
+        Signal.clear_pending ();
+        Signal.commit_pending ();
+        check_int "dropped" 0 (Signal.get_int s));
+  ]
+
+let kernel_tests =
+  [
+    t "seq sees pre-edge values (register semantics)" (fun () ->
+        (* two registers swapping values every cycle *)
+        let a = Signal.create ~name:"a" 8 and b = Signal.create ~name:"b" 8 in
+        Signal.set_int a 1;
+        Signal.set_int b 2;
+        let k = Kernel.create () in
+        Kernel.add k
+          (Component.make
+             ~seq:(fun () -> Signal.set_next a (Signal.get b))
+             "a<=b");
+        Kernel.add k
+          (Component.make
+             ~seq:(fun () -> Signal.set_next b (Signal.get a))
+             "b<=a");
+        Kernel.cycle k;
+        check_int "a" 2 (Signal.get_int a);
+        check_int "b" 1 (Signal.get_int b);
+        Kernel.cycle k;
+        check_int "a back" 1 (Signal.get_int a));
+    t "comb fixpoint propagates through a chain" (fun () ->
+        (* c2 depends on c1 depends on src; registration order is reversed so
+           at least two passes are needed *)
+        let src = Signal.create 8 and w1 = Signal.create 8 and w2 = Signal.create 8 in
+        let k = Kernel.create () in
+        Kernel.add k (Component.make ~comb:(fun () -> Signal.set w2 (Signal.get w1)) "w2");
+        Kernel.add k (Component.make ~comb:(fun () -> Signal.set w1 (Signal.get src)) "w1");
+        Signal.set_int src 9;
+        Kernel.cycle k;
+        check_int "propagated" 9 (Signal.get_int w2));
+    t "comb divergence detected" (fun () ->
+        let s = Signal.create 8 in
+        let k = Kernel.create ~max_comb_iters:8 () in
+        Kernel.add k
+          (Component.make
+             ~comb:(fun () -> Signal.set s (Bits.succ (Signal.get s)))
+             "oscillator");
+        (match Kernel.cycle k with
+        | () -> Alcotest.fail "expected divergence"
+        | exception Kernel.Comb_divergence _ -> ());
+        Signal.clear_pending ());
+    t "cycles counts" (fun () ->
+        let k = Kernel.create () in
+        Kernel.run k 5;
+        check_int "five" 5 (Kernel.cycles k));
+    t "run_until returns cycle count" (fun () ->
+        let n = ref 0 in
+        let k = Kernel.create () in
+        Kernel.add k (Component.make ~seq:(fun () -> incr n) "counter");
+        let taken = Kernel.run_until k (fun () -> !n >= 3) in
+        check_int "taken" 3 taken);
+    t "run_until times out" (fun () ->
+        let k = Kernel.create () in
+        match Kernel.run_until ~max:10 ~what:"never" k (fun () -> false) with
+        | _ -> Alcotest.fail "expected timeout"
+        | exception Kernel.Timeout { waiting_for; _ } ->
+            Alcotest.(check string) "what" "never" waiting_for);
+    t "checks run and can fail" (fun () ->
+        let k = Kernel.create () in
+        Kernel.add_check k "always-fails" (fun cycle ->
+            Kernel.check_fail ~cycle ~check:"always-fails" "boom");
+        match Kernel.cycle k with
+        | () -> Alcotest.fail "expected check failure"
+        | exception Kernel.Check_failed { check; message; _ } ->
+            Alcotest.(check string) "check" "always-fails" check;
+            Alcotest.(check string) "msg" "boom" message);
+    t "on_cycle_end hook fires each cycle" (fun () ->
+        let hits = ref [] in
+        let k = Kernel.create () in
+        Kernel.on_cycle_end k (fun c -> hits := c :: !hits);
+        Kernel.run k 3;
+        Alcotest.(check (list int)) "hooks" [ 3; 2; 1 ] !hits);
+  ]
+
+let wave_tests =
+  [
+    t "wave captures history" (fun () ->
+        let s = Signal.create ~name:"x" 4 in
+        let k = Kernel.create () in
+        let counter = ref 0 in
+        Kernel.add k
+          (Component.make
+             ~seq:(fun () ->
+               incr counter;
+               Signal.set_next_int s !counter)
+             "drv");
+        let w = Wave.create [ s ] in
+        Wave.attach w k;
+        Kernel.run k 3;
+        (* settled (pre-edge) view: the register still shows its old value
+           during the cycle in which the new one is being computed *)
+        let h = List.map Bits.to_int (Wave.history w s) in
+        Alcotest.(check (list int)) "history" [ 0; 1; 2 ] h);
+    t "wave renders 1-bit signals as pulses" (fun () ->
+        let s = Signal.create ~name:"p" 1 in
+        let w = Wave.create [ s ] in
+        Signal.set_bool s false;
+        Wave.sample w;
+        Signal.set_bool s true;
+        Wave.sample w;
+        Signal.set_bool s false;
+        Wave.sample w;
+        let r = Wave.render w in
+        check_bool "contains _#_" true
+          (Astring_contains.contains r "_#_"));
+    t "vcd file is written with header and changes" (fun () ->
+        let s = Signal.create ~name:"v" 8 in
+        let k = Kernel.create () in
+        Kernel.add k
+          (Component.make ~seq:(fun () -> Signal.set_next_int s 255) "drv");
+        let path = Filename.temp_file "splice" ".vcd" in
+        let vcd = Vcd.create ~path ~module_name:"tb" [ s ] in
+        Vcd.attach vcd k;
+        Kernel.run k 2;
+        Vcd.close vcd;
+        let ic = open_in path in
+        let contents = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        Sys.remove path;
+        check_bool "header" true (Astring_contains.contains contents "$var wire 8");
+        check_bool "value change" true (Astring_contains.contains contents "b11111111"));
+  ]
+
+let determinism_tests =
+  [
+    t "two identical simulations produce identical traces" (fun () ->
+        let run () =
+          let spec =
+            Splice.Validate.of_string_exn
+              ~lookup_bus:Splice.Registry.lookup_caps
+              "%device_name d\n%bus_type plb\n%bus_width 32\n%base_address \
+               0x0\nint f(int n, int*:n xs);"
+          in
+          let host =
+            Splice.Host.create spec ~behaviors:(fun _ ->
+                Splice.Stub_model.behavior ~cycles:5 (fun inputs ->
+                    [ List.fold_left Int64.add 0L (List.assoc "xs" inputs) ]))
+          in
+          let sis = Splice.Host.sis host in
+          let wave = Wave.create (Splice.Sis_if.signals sis) in
+          Wave.attach wave (Splice.Host.kernel host);
+          let r, c =
+            Splice.Host.call host ~func:"f"
+              ~args:[ ("n", [ 3L ]); ("xs", [ 1L; 2L; 3L ]) ]
+          in
+          (r, c, Wave.render wave)
+        in
+        let r1, c1, w1 = run () in
+        let r2, c2, w2 = run () in
+        Alcotest.(check (list int64)) "results" r1 r2;
+        check_int "cycles" c1 c2;
+        Alcotest.(check string) "waves" w1 w2);
+  ]
+
+let tests =
+  [
+    ("sim.signal", signal_tests);
+    ("sim.kernel", kernel_tests);
+    ("sim.wave", wave_tests);
+    ("sim.determinism", determinism_tests);
+  ]

@@ -1,0 +1,10 @@
+(* Aggregated alcotest runner for all Splice test suites. *)
+
+let () =
+  Alcotest.run "splice"
+    (Test_bits.tests @ Test_sim.tests @ Test_syntax.tests @ Test_validate.tests
+   @ Test_plan.tests @ Test_hdl.tests @ Test_sis.tests @ Test_buses.tests
+   @ Test_driver.tests @ Test_codegen.tests @ Test_resources.tests
+   @ Test_devices.tests @ Test_fir.tests @ Test_waves.tests @ Test_eval.tests
+   @ Test_byref.tests @ Test_structs.tests @ Test_specs_dir.tests @ Test_lint.tests @ Test_clint.tests @ Test_engine.tests @ Test_gcc.tests @ Test_edge.tests
+   @ Test_properties.tests)

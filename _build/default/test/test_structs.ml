@@ -1,0 +1,218 @@
+(* %user_struct tests (§10.2's "proper support for ANSI C struct
+   declarations", implemented): registry, parsing, planning, marshalling,
+   codegen, and end-to-end transfer of struct scalars and arrays. *)
+
+open Splice
+
+let t name f = Alcotest.test_case name `Quick f
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let contains = Astring_contains.contains
+
+let point_directive = "%user_struct point { int x; int y; }\n"
+
+let spec_of ?(bus = "plb") ?(extra = point_directive) decls =
+  Validate.of_string_exn ~lookup_bus:Registry.lookup_caps
+    (Printf.sprintf
+       "%%device_name d\n%%bus_type %s\n%%bus_width 32\n%%base_address 0x0\n%s%s"
+       bus extra decls)
+
+let syntax_tests =
+  [
+    t "%user_struct parses" (fun () ->
+        match Parser.parse_directive "%user_struct point { int x; int y; }" with
+        | Ast.User_struct { us_name = "point"; us_fields } ->
+            check_int "2 fields" 2 (List.length us_fields)
+        | _ -> Alcotest.fail "wrong directive");
+    t "multi-word field types" (fun () ->
+        match
+          Parser.parse_directive
+            "%user_struct sample { unsigned long t; char tag; }"
+        with
+        | Ast.User_struct { us_fields = [ (ty, "t"); ([ "char" ], "tag") ]; _ } ->
+            Alcotest.(check (list string)) "type" [ "unsigned"; "long" ] ty
+        | _ -> Alcotest.fail "wrong fields");
+    t "empty struct rejected" (fun () ->
+        match Parser.parse_directive "%user_struct e { }" with
+        | _ -> Alcotest.fail "expected error"
+        | exception Error.Splice_error _ -> ());
+    t "pretty-print re-parses" (fun () ->
+        let d = Parser.parse_directive "%user_struct p { int x; char c; }" in
+        check_bool "roundtrip" true
+          (Parser.parse_directive (Format.asprintf "%a" Ast.pp_directive d) = d));
+    t "struct type resolves with summed width" (fun () ->
+        let spec = spec_of "void f(point p);" in
+        let io = List.hd (List.hd spec.Spec.funcs).Spec.inputs in
+        check_int "64 bits total" 64 io.Spec.io_width;
+        check_int "2 fields" 2 (List.length io.Spec.fields));
+    t "unknown field type reported" (fun () ->
+        match
+          Validate.of_string ~lookup_bus:Registry.lookup_caps
+            "%device_name d\n%bus_type plb\n%bus_width 32\n%base_address 0x0\n\
+             %user_struct p { widget w; }\nvoid f(int x);"
+        with
+        | Ok _ -> Alcotest.fail "expected issue"
+        | Error issues ->
+            check_bool "mentions field type" true
+              (List.exists
+                 (fun i -> contains i.Validate.message "field type")
+                 issues));
+    t "duplicate struct rejected" (fun () ->
+        match
+          Validate.of_string ~lookup_bus:Registry.lookup_caps
+            ("%device_name d\n%bus_type plb\n%bus_width 32\n%base_address 0x0\n"
+           ^ point_directive ^ point_directive ^ "void f(int x);")
+        with
+        | Ok _ -> Alcotest.fail "expected issue"
+        | Error _ -> ());
+    t "packed struct rejected" (fun () ->
+        match
+          Validate.of_string ~lookup_bus:Registry.lookup_caps
+            ("%device_name d\n%bus_type plb\n%bus_width 32\n%base_address 0x0\n"
+           ^ "%user_struct tiny { char a; char b; }\n"
+           ^ "void f(tiny*:4+ xs);")
+        with
+        | Ok _ -> Alcotest.fail "expected issue"
+        | Error issues ->
+            check_bool "mentions packing" true
+              (List.exists (fun i -> contains i.Validate.message "packed") issues));
+    t "struct cannot be an implicit index" (fun () ->
+        match
+          Validate.of_string ~lookup_bus:Registry.lookup_caps
+            ("%device_name d\n%bus_type plb\n%bus_width 32\n%base_address 0x0\n"
+           ^ "%user_struct tiny { char a; char b; }\n"
+           ^ "void f(tiny n, int*:n xs);")
+        with
+        | Ok _ -> Alcotest.fail "expected issue"
+        | Error _ -> ());
+  ]
+
+let plan_tests =
+  [
+    t "struct scalar takes one word per field" (fun () ->
+        let spec = spec_of "void f(point p);" in
+        let plan = Plan.make spec (List.hd spec.Spec.funcs) ~values:(fun _ -> 0) in
+        check_int "2 words" 2 (Plan.total_input_words plan));
+    t "mixed-width fields: words per element sum field words" (fun () ->
+        let spec =
+          spec_of ~extra:"%user_struct rec { double d; char c; }\n"
+            "void f(rec*:3 rs);"
+        in
+        let plan = Plan.make spec (List.hd spec.Spec.funcs) ~values:(fun _ -> 0) in
+        (* double = 2 words + char = 1 word -> 3 words/elem, 3 elems *)
+        check_int "9 words" 9 (Plan.total_input_words plan));
+    t "expected_values counts flattened fields" (fun () ->
+        let spec = spec_of "void f(point*:4 ps);" in
+        let plan = Plan.make spec (List.hd spec.Spec.funcs) ~values:(fun _ -> 0) in
+        check_int "8 values" 8 (Plan.expected_values (List.hd plan.Plan.inputs)));
+    t "marshal/unmarshal struct roundtrip with signed fields" (fun () ->
+        let spec =
+          spec_of ~extra:"%user_struct s { char c; double d; }\n"
+            "void f(s*:2 xs);"
+        in
+        let x =
+          List.hd
+            (Plan.make spec (List.hd spec.Spec.funcs) ~values:(fun _ -> 0))
+              .Plan.inputs
+        in
+        let values = [ -5L; 0x1122334455667788L; 127L; -9L ] in
+        let words = Plan.marshal ~word_width:32 x values in
+        check_int "6 words (1+2 per elem, 2 elems)" 6 (List.length words);
+        Alcotest.(check (list int64))
+          "roundtrip" values
+          (Plan.unmarshal ~word_width:32 x words));
+  ]
+
+let codegen_tests =
+  [
+    t "driver header emits a real C struct typedef" (fun () ->
+        let spec = spec_of "void f(point p);" in
+        let h = Drivergen.header_file spec in
+        check_bool "typedef" true (contains h "typedef struct");
+        check_bool "field x" true (contains h "int x;");
+        check_bool "named" true (contains h "} point;"));
+    t "generated stub validates for struct arrays" (fun () ->
+        let spec = spec_of "point f(point*:2 ps);" in
+        let f = List.hd spec.Spec.funcs in
+        check_bool "valid" true (Hdl_ast.validate (Stubgen.design spec f) = Ok ()));
+    t "project generates end to end with structs" (fun () ->
+        let spec = spec_of "point f(int n, point*:n ps);" in
+        let p = Project.generate ~gen_date:"t" spec in
+        check_bool "files" true (List.length (Project.files p) >= 5));
+  ]
+
+(* end-to-end: centroid of an array of points *)
+let centroid_behavior _ =
+  Stub_model.behavior ~cycles:4 (fun inputs ->
+      let flat = List.assoc "ps" inputs in
+      let rec pairs = function
+        | x :: y :: rest ->
+            let xs, ys = pairs rest in
+            (x :: xs, y :: ys)
+        | _ -> ([], [])
+      in
+      let xs, ys = pairs flat in
+      let n = Int64.of_int (max 1 (List.length xs)) in
+      let avg l = Int64.div (List.fold_left Int64.add 0L l) n in
+      [ avg xs; avg ys ])
+
+let endtoend_tests =
+  [
+    t "struct array in, struct out (centroid)" (fun () ->
+        let spec = spec_of "point centroid(int n, point*:n ps);" in
+        let host = Host.create spec ~behaviors:centroid_behavior in
+        (* points (2,10) (4,20) (6,30): centroid (4,20) *)
+        let flat = [ 2L; 10L; 4L; 20L; 6L; 30L ] in
+        let r, _ =
+          Host.call host ~func:"centroid" ~args:[ ("n", [ 3L ]); ("ps", flat) ]
+        in
+        Alcotest.(check (list int64)) "centroid" [ 4L; 20L ] r);
+    t "negative struct fields survive the bus" (fun () ->
+        let spec = spec_of "point centroid(int n, point*:n ps);" in
+        let host = Host.create spec ~behaviors:centroid_behavior in
+        let flat = [ -6L; -10L; -2L; -20L ] in
+        let r, _ =
+          Host.call host ~func:"centroid" ~args:[ ("n", [ 2L ]); ("ps", flat) ]
+        in
+        Alcotest.(check (list int64)) "negative centroid" [ -4L; -15L ] r);
+    t "mixed-width struct round-trips on the FCB" (fun () ->
+        let spec =
+          spec_of ~bus:"fcb" ~extra:"%user_struct s { char tag; double v; }\n"
+            "s f(s x);"
+        in
+        let host =
+          Host.create spec ~behaviors:(fun _ ->
+              Stub_model.behavior (fun inputs ->
+                  match List.assoc "x" inputs with
+                  | [ tag; v ] -> [ Int64.neg tag; Int64.add v 1L ]
+                  | _ -> failwith "bad struct"))
+        in
+        let r, _ =
+          Host.call host ~func:"f" ~args:[ ("x", [ -3L; 0x10000000FL ]) ]
+        in
+        Alcotest.(check (list int64)) "fields" [ 3L; 0x100000010L ] r);
+    t "by-ref struct arrays write back" (fun () ->
+        let spec = spec_of "void mirror(int n, point*:n& ps);" in
+        let host =
+          Host.create spec ~behaviors:(fun _ ->
+              Stub_model.behavior
+                ~write_back:(fun inputs ->
+                  [ ("ps", List.map Int64.neg (List.assoc "ps" inputs)) ])
+                (fun _ -> []))
+        in
+        let _, readbacks, _ =
+          Host.call_full host ~func:"mirror"
+            ~args:[ ("n", [ 2L ]); ("ps", [ 1L; 2L; 3L; 4L ]) ]
+        in
+        Alcotest.(check (list int64))
+          "mirrored" [ -1L; -2L; -3L; -4L ]
+          (List.assoc "ps" readbacks));
+  ]
+
+let tests =
+  [
+    ("structs.syntax", syntax_tests);
+    ("structs.plan", plan_tests);
+    ("structs.codegen", codegen_tests);
+    ("structs.end-to-end", endtoend_tests);
+  ]

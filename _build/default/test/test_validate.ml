@@ -1,0 +1,193 @@
+(* Validator tests: every rule of §3.2-§3.3 plus func-id assignment. *)
+
+open Splice
+
+let t name f = Alcotest.test_case name `Quick f
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let lookup = Registry.lookup_caps
+
+let base_directives =
+  "%device_name dev\n%bus_type plb\n%bus_width 32\n%base_address 0x80000000\n"
+
+let ok ?(directives = base_directives) decls =
+  match Validate.of_string ~lookup_bus:lookup (directives ^ decls) with
+  | Ok spec -> spec
+  | Error (i :: _) -> Alcotest.failf "unexpected issue: %s" i.Validate.message
+  | Error [] -> assert false
+
+let expect_issue ?(directives = base_directives) decls fragment =
+  match Validate.of_string ~lookup_bus:lookup (directives ^ decls) with
+  | Ok _ -> Alcotest.failf "expected an issue mentioning %S" fragment
+  | Error issues ->
+      check_bool
+        (Printf.sprintf "some issue mentions %S" fragment)
+        true
+        (List.exists
+           (fun i -> Astring_contains.contains i.Validate.message fragment)
+           issues)
+
+let required_tests =
+  [
+    t "missing bus_type" (fun () ->
+        expect_issue ~directives:"%device_name d\n%bus_width 32\n" "void f(int x);"
+          "%bus_type");
+    t "missing bus_width" (fun () ->
+        expect_issue ~directives:"%device_name d\n%bus_type fcb\n" "void f(int x);"
+          "%bus_width");
+    t "missing device_name" (fun () ->
+        expect_issue ~directives:"%bus_type fcb\n%bus_width 32\n" "void f(int x);"
+          "%device_name");
+    t "memory-mapped bus needs base_address" (fun () ->
+        expect_issue ~directives:"%device_name d\n%bus_type plb\n%bus_width 32\n"
+          "void f(int x);" "%base_address");
+    t "fcb needs no base_address (§2.3.2)" (fun () ->
+        ignore
+          (ok ~directives:"%device_name d\n%bus_type fcb\n%bus_width 32\n"
+             "void f(int x);"));
+    t "no declarations at all" (fun () ->
+        expect_issue "" "no interface declarations");
+    t "duplicate directive" (fun () ->
+        expect_issue ~directives:(base_directives ^ "%bus_width 32\n")
+          "void f(int x);" "duplicate");
+    t "unknown bus" (fun () ->
+        expect_issue ~directives:"%device_name d\n%bus_type vme\n%bus_width 32\n"
+          "void f(int x);" "unknown bus");
+    t "illegal width for bus" (fun () ->
+        expect_issue ~directives:"%device_name d\n%bus_type fcb\n%bus_width 64\n"
+          "void f(int x);" "64-bit");
+    t "plb supports 64-bit" (fun () ->
+        ignore
+          (ok
+             ~directives:
+               "%device_name d\n%bus_type plb\n%bus_width 64\n%base_address 0x0\n"
+             "void f(int x);"));
+  ]
+
+let feature_tests =
+  [
+    t "dma param without %dma_support (§3.2.2)" (fun () ->
+        expect_issue "void f(int*:4^ x);" "%dma_support");
+    t "dma enabled on dma-capable bus is fine" (fun () ->
+        ignore (ok ~directives:(base_directives ^ "%dma_support true\n")
+                  "void f(int*:4^ x);"));
+    t "dma_support on non-dma bus" (fun () ->
+        expect_issue
+          ~directives:
+            "%device_name d\n%bus_type fcb\n%bus_width 32\n%dma_support true\n"
+          "void f(int x);" "no DMA");
+    t "interrupt_support on a bus without an IRQ line" (fun () ->
+        expect_issue
+          ~directives:
+            "%device_name d\n%bus_type fcb\n%bus_width 32\n%interrupt_support \
+             true\n"
+          "void f(int x);" "interrupt");
+    t "interrupt_support accepted on the PLB (§10.2)" (fun () ->
+        let spec =
+          ok ~directives:(base_directives ^ "%interrupt_support true\n")
+            "int f(int x);"
+        in
+        check_bool "flag set" true spec.Spec.interrupts);
+    t "burst_support on non-burst bus" (fun () ->
+        expect_issue
+          ~directives:
+            "%device_name d\n%bus_type apb\n%bus_width 32\n%base_address \
+             0x0\n%burst_support true\n"
+          "void f(int x);" "no burst");
+  ]
+
+let decl_rule_tests =
+  [
+    t "pointer without count" (fun () -> expect_issue "void f(int* x);" "count");
+    t "count without pointer" (fun () -> expect_issue "void f(int:4 x);" "non-pointer");
+    t "packed without pointer" (fun () -> expect_issue "void f(char+ x);" "'+'");
+    t "implicit ref must name an earlier input (§3.3)" (fun () ->
+        expect_issue "void f(int*:x y, int x);" "earlier input");
+    t "implicit ref may not name a pointer" (fun () ->
+        expect_issue "void f(int*:4 x, int*:x y);" "scalar");
+    t "implicit ref ordering accepted when correct (§3.3)" (fun () ->
+        ignore (ok "void f(int x, int*:x y);"));
+    t "unknown type" (fun () -> expect_issue "void f(widget x);" "unknown type");
+    t "void parameter type" (fun () -> expect_issue "void f(void x);" "void");
+    t "duplicate parameter names" (fun () ->
+        expect_issue "void f(int x, char x);" "duplicate parameter");
+    t "duplicate function names" (fun () ->
+        expect_issue "void f(int x);\nvoid f(char y);" "duplicate function");
+    t "user types usable in declarations" (fun () ->
+        let spec =
+          ok ~directives:(base_directives ^ "%user_type llong, unsigned long long, 64\n")
+            "llong f(llong x);"
+        in
+        let f = Option.get (Spec.find_func spec "f") in
+        check_int "input width" 64 (List.hd f.Spec.inputs).Spec.io_width;
+        check_int "output width" 64 (Option.get f.Spec.output).Spec.io_width);
+    t "duplicate user type" (fun () ->
+        expect_issue
+          ~directives:
+            (base_directives
+           ^ "%user_type u8, unsigned char, 8\n%user_type u8, unsigned char, 8\n")
+          "void f(int x);" "duplicate %user_type");
+    t "output implicit ref must name a scalar input" (fun () ->
+        ignore (ok "int*:n f(int n);");
+        expect_issue "int*:m f(int n);" "scalar input");
+  ]
+
+let assignment_tests =
+  [
+    t "func ids start at 1 (id 0 = status, §4.2.2)" (fun () ->
+        let spec = ok "void a(int x);\nvoid b(int x);" in
+        check_int "a" 1 (Option.get (Spec.find_func spec "a")).Spec.func_id;
+        check_int "b" 2 (Option.get (Spec.find_func spec "b")).Spec.func_id);
+    t "multi-instance functions consume consecutive ids (§5.2)" (fun () ->
+        let spec = ok "void a(int x):3;\nvoid b(int x);" in
+        check_int "b after a's 3" 4 (Option.get (Spec.find_func spec "b")).Spec.func_id;
+        check_int "total" 4 spec.Spec.total_instances);
+    t "func_id_width covers the id space" (fun () ->
+        let spec = ok "void a(int x):7;" in
+        check_int "3 bits for ids 0..7" 3 spec.Spec.func_id_width);
+    t "func_of_id resolves instances" (fun () ->
+        let spec = ok "void a(int x):3;\nvoid b(int x);" in
+        (match Spec.func_of_id spec 2 with
+        | Some (f, inst) ->
+            Alcotest.(check string) "func" "a" f.Spec.name;
+            check_int "instance" 1 inst
+        | None -> Alcotest.fail "id 2");
+        check_bool "id 0 is status" true (Spec.func_of_id spec 0 = None);
+        check_bool "beyond range" true (Spec.func_of_id spec 9 = None));
+    t "blocking_ack for void non-nowait" (fun () ->
+        let spec = ok "void a(int x);\nnowait b(int x);\nint c(int x);" in
+        let f n = Option.get (Spec.find_func spec n) in
+        check_bool "a blocks" true (Spec.blocking_ack (f "a"));
+        check_bool "b nowait" false (Spec.blocking_ack (f "b"));
+        check_bool "c has output" false (Spec.blocking_ack (f "c")));
+    t "used_as_index marked" (fun () ->
+        let spec = ok "void f(int n, int*:n xs);" in
+        let f = Option.get (Spec.find_func spec "f") in
+        check_bool "n is index" true (List.hd f.Spec.inputs).Spec.used_as_index);
+    t "effective_packed: global flag packs small types only" (fun () ->
+        let spec =
+          ok ~directives:(base_directives ^ "%packing_support true\n")
+            "void f(char*:8 cs, int*:4 xs);"
+        in
+        let f = Option.get (Spec.find_func spec "f") in
+        let cs = List.nth f.Spec.inputs 0 and xs = List.nth f.Spec.inputs 1 in
+        check_bool "chars pack" true (Spec.effective_packed spec cs);
+        check_bool "ints don't (same width as bus)" false
+          (Spec.effective_packed spec xs));
+    t "errors are collected, not first-only" (fun () ->
+        match
+          Validate.of_string ~lookup_bus:lookup
+            (base_directives ^ "void f(widget x);\nvoid f(int* y);")
+        with
+        | Ok _ -> Alcotest.fail "expected issues"
+        | Error issues -> check_bool "several" true (List.length issues >= 2));
+  ]
+
+let tests =
+  [
+    ("validate.required", required_tests);
+    ("validate.features", feature_tests);
+    ("validate.decl-rules", decl_rule_tests);
+    ("validate.assignment", assignment_tests);
+  ]
