@@ -63,6 +63,33 @@ let bench_fig_9_3 =
            (fun i -> ignore (Splice.Interpolator.resource_usage i))
            Splice.Interpolator.all_impls))
 
+(* Observability overhead (E10): the same simulated driver call with the
+   metrics registry wired to every layer vs opted out via Obs.none. The
+   always-on design is only tenable if this delta stays small (<5%). *)
+let bench_cycles_uninstrumented =
+  let host =
+    lazy
+      (Splice.Interpolator.make_host ~obs:Splice.Obs.none
+         Splice.Interpolator.Splice_plb_simple)
+  in
+  Test.make ~name:"driver call, observability off (Obs.none)"
+    (Staged.stage (fun () ->
+         ignore
+           (Splice.Interpolator.run (Lazy.force host)
+              (Splice.Interp_scenarios.by_id 1))))
+
+let bench_cycles_instrumented =
+  let host =
+    lazy
+      (Splice.Interpolator.make_host ~obs:(Splice.Obs.create ())
+         Splice.Interpolator.Splice_plb_simple)
+  in
+  Test.make ~name:"driver call, metrics on (default)"
+    (Staged.stage (fun () ->
+         ignore
+           (Splice.Interpolator.run (Lazy.force host)
+              (Splice.Interp_scenarios.by_id 1))))
+
 let bench_stubgen =
   Test.make ~name:"single stub generation (VHDL)"
     (Staged.stage (fun () ->
@@ -77,6 +104,8 @@ let benchmarks =
     bench_fig_9_1;
     bench_fig_9_2_one_run;
     bench_fig_9_3;
+    bench_cycles_uninstrumented;
+    bench_cycles_instrumented;
   ]
 
 let run_bechamel () =

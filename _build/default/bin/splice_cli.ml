@@ -208,14 +208,64 @@ let markers_cmd =
     Term.(const run $ bus_arg)
 
 let eval_cmd =
-  let run () =
+  let stats =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats" ] ~docv:"FILE"
+          ~doc:
+            "Re-run the Fig 9.2 measurement instrumented and write a \
+             plain-text stats report: per-implementation cycle budgets \
+             (calc/bus/driver/idle per scenario) followed by every counter \
+             and histogram (bus/*, arbiter/*, sis/*, driver/*, sim/*).")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace-event JSON of the instrumented Fig 9.2 \
+             runs (one process per implementation, one thread per span \
+             track; timestamps in bus-clock cycles). Open at \
+             chrome://tracing or ui.perfetto.dev.")
+  in
+  let run stats trace =
     print_string (Splice.Tables.everything ());
-    0
+    match (stats, trace) with
+    | None, None -> 0
+    | _ -> (
+        let drows =
+          Splice.Cycles.measure_detailed ~tracing:(trace <> None) ()
+        in
+        try
+          Option.iter
+            (fun path ->
+              Splice.Export.write_file path
+                (Splice.Cycles.breakdown_table drows
+                ^ "\n"
+                ^ Splice.Cycles.stats_report drows);
+              Printf.printf "wrote stats report to %s\n" path)
+            stats;
+          Option.iter
+            (fun path ->
+              Splice.Export.write_file path
+                (Splice.Cycles.chrome_trace_string drows);
+              Printf.printf "wrote Chrome trace to %s\n" path)
+            trace;
+          0
+        with Sys_error msg ->
+          Printf.eprintf "error: %s\n" msg;
+          1)
   in
   Cmd.v
     (Cmd.info "eval"
-       ~doc:"Reproduce the Ch 9 evaluation (Figs 9.1-9.3 and the ablations).")
-    Term.(const run $ const ())
+       ~doc:
+         "Reproduce the Ch 9 evaluation (Figs 9.1-9.3 and the ablations). \
+          With $(b,--stats) and/or $(b,--trace), additionally re-run the \
+          Fig 9.2 measurement with the observability layer attached and \
+          export the results.")
+    Term.(const run $ stats $ trace)
 
 let () =
   let info =

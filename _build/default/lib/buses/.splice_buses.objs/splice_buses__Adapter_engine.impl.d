@@ -1,1 +1,1 @@
-lib/buses/adapter_engine.ml: Bits Bus_port Component Format List Printf Signal Sis_if Splice_bits Splice_sim Splice_sis
+lib/buses/adapter_engine.ml: Bits Bus_port Component Format List Metrics Obs Printf Signal Sis_if Splice_bits Splice_obs Splice_sim Splice_sis Tracer

@@ -1,1 +1,1 @@
-lib/buses/adapter_engine.mli: Bus_port Component Sis_if Splice_sim Splice_sis
+lib/buses/adapter_engine.mli: Bus_port Component Sis_if Splice_obs Splice_sim Splice_sis

@@ -1,6 +1,7 @@
 open Splice_sim
 open Splice_sis
 open Splice_bits
+open Splice_obs
 
 type config = {
   name : string;
@@ -41,6 +42,14 @@ type t = {
       (* completion-interrupt latch (§10.2): set on any CALC_DONE rising
          edge, cleared when a status-register read acknowledges it *)
   mutable comp : Component.t;
+  obs : Obs.t;
+  m_transfers : Metrics.counter;
+  m_words_written : Metrics.counter;
+  m_words_read : Metrics.counter;
+  m_wait_states : Metrics.counter;  (* stub not ready: IO_DONE/DOV low *)
+  m_overhead : Metrics.counter;  (* setup, teardown, inter-word gaps *)
+  h_burst : Metrics.histogram;
+  mutable req_span : Tracer.span;
 }
 
 let deassert t =
@@ -49,6 +58,8 @@ let deassert t =
   Signal.set_next t.sis.Sis_if.data_in (Bits.zero (Signal.width t.sis.Sis_if.data_in))
 
 let end_transaction t =
+  Tracer.end_span t.req_span ~ts:(Obs.now t.obs);
+  t.req_span <- Tracer.null_span;
   deassert t;
   t.active <- None;
   if t.cfg.teardown_cycles > 0 then t.phase <- Teardown t.cfg.teardown_cycles
@@ -71,6 +82,16 @@ let strobe_read t =
 let begin_request t req =
   t.active <- Some req;
   t.collected <- [];
+  if Obs.active t.obs then begin
+    Metrics.incr t.m_transfers;
+    Metrics.observe t.h_burst (Bus_port.words_of_req req);
+    if Obs.tracing t.obs then
+      t.req_span <-
+        Tracer.begin_span (Obs.tracer t.obs)
+          ~track:("bus/" ^ t.cfg.name)
+          ~ts:(Obs.now t.obs)
+          (Format.asprintf "%a" Bus_port.pp_req req)
+  end;
   let dma = match req with Bus_port.Dma_write _ | Bus_port.Dma_read _ -> true | _ -> false in
   (* a DMA transfer is programmed with [dma_setup_transactions] ordinary bus
      transactions before the engine streams data without CPU involvement *)
@@ -164,16 +185,23 @@ let seq t () =
           t.req <- None;
           begin_request t req
       | None -> ())
-  | Setup n -> if n <= 1 then start_transfer t else t.phase <- Setup (n - 1)
+  | Setup n ->
+      if Obs.active t.obs then Metrics.incr t.m_overhead;
+      if n <= 1 then start_transfer t else t.phase <- Setup (n - 1)
   | Writing words -> (
-      if Signal.get_bool t.sis.Sis_if.io_done then
+      if Signal.get_bool t.sis.Sis_if.io_done then begin
+        if Obs.active t.obs then Metrics.incr t.m_words_written;
         match words with
         | [] -> assert false
         | _ :: rest -> next_write_word t rest
-      else
+      end
+      else begin
         (* stub stalled: hold data/valid static, strobe was one cycle only *)
-        Signal.set_next_bool t.sis.Sis_if.io_enable false)
+        if Obs.active t.obs then Metrics.incr t.m_wait_states;
+        Signal.set_next_bool t.sis.Sis_if.io_enable false
+      end)
   | WGap (n, words) ->
+      if Obs.active t.obs then Metrics.incr t.m_overhead;
       if n <= 1 then (
         match words with
         | [] -> assert false
@@ -183,15 +211,19 @@ let seq t () =
       else t.phase <- WGap (n - 1, words)
   | ReadPending remaining ->
       if Signal.get_bool t.sis.Sis_if.data_out_valid then begin
+        if Obs.active t.obs then Metrics.incr t.m_words_read;
         collect t (Signal.get t.sis.Sis_if.data_out);
         Signal.set_next_bool t.sis.Sis_if.io_enable false;
         next_read_word t (remaining - 1)
       end
-      else
+      else begin
         (* delayed read (Fig 4.3): keep FUNC_ID static, drop the strobe *)
+        if Obs.active t.obs then Metrics.incr t.m_wait_states;
         Signal.set_next_bool t.sis.Sis_if.io_enable false
+      end
   | RGap (n, remaining) ->
       (* gap cycles between read words; re-strobe when done *)
+      if Obs.active t.obs then Metrics.incr t.m_overhead;
       if n <= 1 then begin
         strobe_read t;
         t.phase <-
@@ -200,22 +232,27 @@ let seq t () =
       else t.phase <- RGap (n - 1, remaining)
   | SyncSample remaining ->
       (* strictly synchronous: sample this very cycle, ready or not (§4.2.2) *)
+      if Obs.active t.obs then Metrics.incr t.m_words_read;
       collect t (Signal.get t.sis.Sis_if.data_out);
       Signal.set_next_bool t.sis.Sis_if.io_enable false;
       next_read_word t (remaining - 1)
   | StatusSample ->
       let v = Signal.get t.sis.Sis_if.calc_done in
+      if Obs.active t.obs then Metrics.incr t.m_words_read;
       collect t (Bits.resize v (Signal.width t.sis.Sis_if.data_in));
       t.irq_flag <- false (* reading the status register acks the IRQ *);
       end_transaction t
   | Teardown n ->
+      if Obs.active t.obs then Metrics.incr t.m_overhead;
       if n <= 1 then begin
         t.phase <- Idle;
         t.busy_flag <- false
       end
       else t.phase <- Teardown (n - 1)
 
-let make cfg sis =
+let make ?(obs = Obs.none) cfg sis =
+  let m = Obs.metrics obs in
+  let metric name = Metrics.counter m ("bus/" ^ cfg.name ^ "/" ^ name) in
   let t =
     {
       cfg;
@@ -231,6 +268,16 @@ let make cfg sis =
       prev_calc = None;
       irq_flag = false;
       comp = Component.make "engine";
+      obs;
+      m_transfers = metric "transfers";
+      m_words_written = metric "words_written";
+      m_words_read = metric "words_read";
+      m_wait_states = metric "wait_states";
+      m_overhead = metric "overhead_cycles";
+      h_burst =
+        Metrics.histogram ~limits:[| 1; 2; 4; 8; 16; 32; 64 |] m
+          ("bus/" ^ cfg.name ^ "/burst_words");
+      req_span = Tracer.null_span;
     }
   in
   t.comp <- Component.make ~seq:(seq t) ("adapter:" ^ cfg.name);

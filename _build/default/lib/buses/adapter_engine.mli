@@ -37,7 +37,14 @@ type config = {
 
 type t
 
-val make : config -> Sis_if.t -> t
+val make : ?obs:Splice_obs.Obs.t -> config -> Sis_if.t -> t
+(** [obs] (default [Obs.none]) receives per-bus metrics under
+    [bus/<name>/…] — transfers, words written/read, wait-states (stub not
+    ready), overhead cycles (setup/teardown/word gaps), a burst-length
+    histogram — plus one span per native bus transaction on track
+    [bus/<name>] when tracing is enabled. {!Bus.connect_with_engine} wires
+    the kernel's own context through automatically. *)
+
 val component : t -> Component.t
 val port : t -> wait_mode:[ `Null | `Poll ] -> max_burst_words:int ->
   supports_dma:bool -> Bus_port.t

@@ -14,7 +14,7 @@ module type S = sig
 end
 
 let connect_with_engine cfg (caps : Bus_caps.t) wait_mode kernel _spec sis =
-  let engine = Adapter_engine.make cfg sis in
+  let engine = Adapter_engine.make ~obs:(Kernel.obs kernel) cfg sis in
   Kernel.add kernel (Adapter_engine.component engine);
   Adapter_engine.port engine ~wait_mode
     ~max_burst_words:caps.Bus_caps.max_burst_words

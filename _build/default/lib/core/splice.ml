@@ -85,6 +85,13 @@ module Linuxgen = Splice_codegen.Linuxgen
 module C_lint = Splice_codegen.C_lint
 module Api = Splice_codegen.Api
 
+(* observability: metrics, spans, exporters *)
+module Obs = Splice_obs.Obs
+module Metrics = Splice_obs.Metrics
+module Tracer = Splice_obs.Tracer
+module Json = Splice_obs.Json
+module Export = Splice_obs.Export
+
 (* resources + devices + evaluation (Chs 8-9) *)
 module Resources = Splice_resources.Model
 module Resource_report = Splice_resources.Report

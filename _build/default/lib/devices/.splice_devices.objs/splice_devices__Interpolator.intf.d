@@ -1,1 +1,1 @@
-lib/devices/interpolator.mli: Host Interp_scenarios Spec Splice_driver Splice_resources Splice_sis Splice_syntax
+lib/devices/interpolator.mli: Host Interp_scenarios Spec Splice_driver Splice_obs Splice_resources Splice_sis Splice_syntax

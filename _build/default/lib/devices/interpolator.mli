@@ -34,7 +34,10 @@ val reference : (string * int64 list) list -> int64
 
 val behavior : string -> Splice_sis.Stub_model.behavior
 
-val make_host : impl -> Host.t
+val make_host : ?obs:Splice_obs.Obs.t -> impl -> Host.t
+(** [obs] is handed to {!Host.create}, so one context collects metrics (and
+    spans when tracing is on) for the whole implementation under test. *)
+
 val run : Host.t -> Interp_scenarios.t -> int64 * int
 (** One complete driver invocation for a scenario: (result, cycles). *)
 

@@ -1,1 +1,1 @@
-lib/driver/cpu.ml: Bits Bus_port Component Kernel List Op Splice_bits Splice_buses Splice_sim
+lib/driver/cpu.ml: Bits Bus_port Component Kernel List Metrics Obs Op Printf Splice_bits Splice_buses Splice_obs Splice_sim Tracer

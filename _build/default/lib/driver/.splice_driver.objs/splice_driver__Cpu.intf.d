@@ -1,1 +1,1 @@
-lib/driver/cpu.mli: Bits Bus_port Component Kernel Program Splice_bits Splice_buses Splice_sim
+lib/driver/cpu.mli: Bits Bus_port Component Kernel Program Splice_bits Splice_buses Splice_obs Splice_sim

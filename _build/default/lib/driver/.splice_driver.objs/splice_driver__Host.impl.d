@@ -1,1 +1,1 @@
-lib/driver/host.ml: Bus Bus_caps Bus_port Cpu Kernel Peripheral Plan Printf Program Registry Spec Splice_buses Splice_sim Splice_sis Splice_syntax
+lib/driver/host.ml: Bus Bus_caps Bus_port Cpu Kernel List Metrics Obs Peripheral Plan Printf Program Registry Spec Splice_buses Splice_obs Splice_sim Splice_sis Splice_syntax Stub_model Tracer

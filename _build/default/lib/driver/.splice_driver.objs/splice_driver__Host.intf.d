@@ -1,1 +1,1 @@
-lib/driver/host.mli: Cpu Kernel Peripheral Plan Sis_if Spec Splice_buses Splice_sim Splice_sis Splice_syntax Stub_model
+lib/driver/host.mli: Cpu Kernel Peripheral Plan Sis_if Spec Splice_buses Splice_obs Splice_sim Splice_sis Splice_syntax Stub_model

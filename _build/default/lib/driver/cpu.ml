@@ -1,6 +1,7 @@
 open Splice_sim
 open Splice_buses
 open Splice_bits
+open Splice_obs
 
 type state =
   | Idle
@@ -23,7 +24,25 @@ type t = {
   mutable reads : Bits.t list;  (* reversed *)
   mutable polls : int;
   mutable comp : Component.t;
+  obs : Obs.t;
+  m_ops : Metrics.counter;
+  m_polls : Metrics.counter;
+  m_overhead : Metrics.counter;
 }
+
+let op_kind = function
+  | Op.Set_address _ -> "set_address"
+  | Op.Write_single _ -> "write_single"
+  | Op.Write_double _ -> "write_double"
+  | Op.Write_quad _ -> "write_quad"
+  | Op.Write_burst _ -> "write_burst"
+  | Op.Read_single _ -> "read_single"
+  | Op.Read_double _ -> "read_double"
+  | Op.Read_quad _ -> "read_quad"
+  | Op.Read_burst _ -> "read_burst"
+  | Op.Write_dma _ -> "write_dma"
+  | Op.Read_dma _ -> "read_dma"
+  | Op.Wait_for_results _ -> "wait_for_results"
 
 let next_op t =
   match t.prog with
@@ -50,8 +69,15 @@ let req_of_op op =
 let seq t () =
   match t.state with
   | Idle -> ()
-  | Overhead (n, op) -> if n <= 1 then t.state <- Issue op else t.state <- Overhead (n - 1, op)
+  | Overhead (n, op) ->
+      if Obs.active t.obs then Metrics.incr t.m_overhead;
+      if n <= 1 then t.state <- Issue op else t.state <- Overhead (n - 1, op)
   | Issue op -> (
+      if Obs.active t.obs then begin
+        Metrics.incr t.m_ops;
+        Metrics.incr
+          (Metrics.counter (Obs.metrics t.obs) ("driver/op/" ^ op_kind op))
+      end;
       match op with
       | Op.Set_address _ -> next_op t
       | Op.Wait_for_results id -> (
@@ -74,6 +100,7 @@ let seq t () =
       end
   | Poll_issue id ->
       t.polls <- t.polls + 1;
+      if Obs.active t.obs then Metrics.incr t.m_polls;
       t.port.Bus_port.submit (Bus_port.Read { func_id = 0; words = 1 });
       t.state <- Poll_wait id
   | Poll_wait id ->
@@ -97,16 +124,18 @@ let seq t () =
          interrupt acknowledge (it clears the adapter's IRQ latch) *)
       if t.port.Bus_port.irq_pending () then begin
         t.polls <- t.polls + 1;
+        if Obs.active t.obs then Metrics.incr t.m_polls;
         t.port.Bus_port.submit (Bus_port.Read { func_id = 0; words = 1 });
         t.state <- Poll_wait id
       end
 
-let make ?(issue_overhead = 1) ?wait_mode port =
+let make ?(obs = Obs.none) ?(issue_overhead = 1) ?wait_mode port =
   let wait_mode =
     match wait_mode with
     | Some m -> m
     | None -> (port.Bus_port.wait_mode :> [ `Null | `Poll | `Irq ])
   in
+  let m = Obs.metrics obs in
   let t =
     {
       port;
@@ -117,6 +146,10 @@ let make ?(issue_overhead = 1) ?wait_mode port =
       reads = [];
       polls = 0;
       comp = Component.make "cpu";
+      obs;
+      m_ops = Metrics.counter m "driver/ops";
+      m_polls = Metrics.counter m "driver/polls";
+      m_overhead = Metrics.counter m "driver/overhead_cycles";
     }
   in
   t.comp <- Component.make ~seq:(seq t) ("cpu:" ^ port.Bus_port.bus_name);
@@ -136,9 +169,17 @@ let read_data t = List.rev t.reads
 let polls t = t.polls
 
 let run_program ?(max_cycles = 1_000_000) kernel t prog =
+  let obs = Kernel.obs kernel in
+  let span =
+    if Obs.tracing obs then
+      Tracer.begin_span (Obs.tracer obs) ~track:"driver" ~ts:(Obs.now obs)
+        (Printf.sprintf "program (%d op(s))" (List.length prog))
+    else Tracer.null_span
+  in
   load t prog;
   let cycles =
     Kernel.run_until ~max:max_cycles ~what:"driver program" kernel (fun () ->
         not (running t))
   in
+  Tracer.end_span span ~ts:(Obs.now obs);
   (read_data t, cycles)

@@ -13,12 +13,17 @@ open Splice_bits
 
 type t
 
-val make : ?issue_overhead:int -> ?wait_mode:[ `Null | `Poll | `Irq ] ->
-  Bus_port.t -> t
+val make : ?obs:Splice_obs.Obs.t -> ?issue_overhead:int ->
+  ?wait_mode:[ `Null | `Poll | `Irq ] -> Bus_port.t -> t
 (** [issue_overhead] defaults to 1. [wait_mode] overrides the port's default
     WAIT_FOR_RESULTS strategy; [`Irq] (completion interrupts, §10.2) sleeps
     without bus traffic until the adapter's IRQ latch rises, then issues one
-    status read as the acknowledge. *)
+    status read as the acknowledge.
+
+    [obs] (default [Obs.none]) receives software-side counters:
+    [driver/ops], [driver/op/<kind>] per macro kind, [driver/polls], and
+    [driver/overhead_cycles] (instruction-issue stall cycles).
+    {!Splice_driver.Host.create} wires the kernel's context through. *)
 
 val component : t -> Component.t
 (** Register {e before} the bus adapter's component for same-cycle

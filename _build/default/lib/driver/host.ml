@@ -2,6 +2,7 @@ open Splice_sim
 open Splice_sis
 open Splice_syntax
 open Splice_buses
+open Splice_obs
 
 type t = {
   kernel : Kernel.t;
@@ -12,7 +13,7 @@ type t = {
   lean_driver : bool;
 }
 
-let create ?(monitor = true) ?issue_overhead ?(lean_driver = false) ?bus
+let create ?(monitor = true) ?issue_overhead ?(lean_driver = false) ?bus ?obs
     (spec : Spec.t) ~behaviors =
   let (module B : Bus.S) =
     match bus with
@@ -22,7 +23,7 @@ let create ?(monitor = true) ?issue_overhead ?(lean_driver = false) ?bus
         | Some b -> b
         | None -> failwith (Printf.sprintf "Host.create: unknown bus %S" spec.bus_name))
   in
-  let kernel = Kernel.create () in
+  let kernel = Kernel.create ?obs () in
   let peripheral = Peripheral.build ~monitor kernel spec ~behaviors in
   let port = B.connect kernel spec (Peripheral.sis peripheral) in
   let wait_mode =
@@ -30,7 +31,7 @@ let create ?(monitor = true) ?issue_overhead ?(lean_driver = false) ?bus
       Some `Irq
     else None
   in
-  let cpu = Cpu.make ?issue_overhead ?wait_mode port in
+  let cpu = Cpu.make ~obs:(Kernel.obs kernel) ?issue_overhead ?wait_mode port in
   Kernel.add kernel (Cpu.component cpu);
   { kernel; spec; peripheral; port; cpu; lean_driver }
 
@@ -46,7 +47,15 @@ let call_full ?(instance = 0) ?max_cycles t ~func ~args =
       ~max_burst_words:t.port.Bus_port.max_burst_words
       ~supports_dma:t.port.Bus_port.supports_dma plan ~args
   in
+  let obs = Kernel.obs t.kernel in
+  let span =
+    if Obs.tracing obs then
+      Tracer.begin_span (Obs.tracer obs) ~track:"driver" ~ts:(Obs.now obs)
+        ("call " ^ func)
+    else Tracer.null_span
+  in
   let words, cycles = Cpu.run_program ?max_cycles t.kernel t.cpu prog in
+  Tracer.end_span span ~ts:(Obs.now obs);
   let readbacks, _ = Program.unpack_readbacks plan words in
   (Program.unpack_result plan words, readbacks, cycles)
 
@@ -56,6 +65,27 @@ let call ?instance ?max_cycles t ~func ~args =
 
 let kernel t = t.kernel
 let spec t = t.spec
+let obs t = Kernel.obs t.kernel
+
+(* Attribute every simulated cycle to exactly one layer so the counters sum
+   to [Kernel.cycles]: stub computation wins over bus activity (the bus may
+   be parked waiting on CALC_DONE), the bus over driver issue overhead. *)
+let attach_cycle_breakdown t =
+  let obs = Kernel.obs t.kernel in
+  let m = Obs.metrics obs in
+  let c_calc = Metrics.counter m "breakdown/calc" in
+  let c_bus = Metrics.counter m "breakdown/bus" in
+  let c_driver = Metrics.counter m "breakdown/driver" in
+  let c_idle = Metrics.counter m "breakdown/idle" in
+  let stubs = Peripheral.stubs t.peripheral in
+  Kernel.on_settle t.kernel (fun _cycle ->
+      let calc =
+        List.exists (fun s -> Stub_model.state s = Stub_model.Calc) stubs
+      in
+      if calc then Metrics.incr c_calc
+      else if t.port.Bus_port.busy () then Metrics.incr c_bus
+      else if Cpu.running t.cpu then Metrics.incr c_driver
+      else Metrics.incr c_idle)
 let peripheral t = t.peripheral
 let port t = t.port
 let cpu t = t.cpu

@@ -16,12 +16,16 @@ val create :
   ?issue_overhead:int ->
   ?lean_driver:bool ->
   ?bus:(module Splice_buses.Bus.S) ->
+  ?obs:Splice_obs.Obs.t ->
   Spec.t ->
   behaviors:(string -> Stub_model.behavior) ->
   t
 (** [bus] defaults to the registry entry for [spec.bus_name]; raises
     [Failure] when the bus is unknown. [lean_driver] models hand-optimised
-    driver code (see {!Program.of_plan}). *)
+    driver code (see {!Program.of_plan}). [obs] becomes the kernel's
+    observability context (default: a fresh enabled context with tracing
+    off); every layer — kernel, bus adapter, arbiter, SIS monitor, CPU —
+    is wired to it. *)
 
 val call :
   ?instance:int ->
@@ -45,6 +49,17 @@ val call_full :
 
 val kernel : t -> Kernel.t
 val spec : t -> Spec.t
+
+val obs : t -> Splice_obs.Obs.t
+(** The kernel's observability context ([Kernel.obs (kernel t)]). *)
+
+val attach_cycle_breakdown : t -> unit
+(** Register a per-cycle classifier that attributes every simulated cycle
+    to exactly one of the counters [breakdown/calc] (a stub is computing),
+    [breakdown/bus] (a bus transaction in flight), [breakdown/driver] (CPU
+    issuing/stalling), or [breakdown/idle] — so their sum equals
+    [Kernel.cycles] and a run's total splits into per-layer budgets. *)
+
 val peripheral : t -> Peripheral.t
 val port : t -> Splice_buses.Bus_port.t
 val cpu : t -> Cpu.t

@@ -1,1 +1,1 @@
-lib/eval/cycles.ml: Buffer Format Interp_scenarios Interpolator List Printf Splice_devices
+lib/eval/cycles.ml: Buffer Export Format Interp_scenarios Interpolator List Metrics Obs Printf Splice_devices Splice_driver Splice_obs String

@@ -1,1 +1,1 @@
-lib/eval/cycles.mli: Format Interpolator Splice_devices
+lib/eval/cycles.mli: Format Interpolator Splice_devices Splice_obs

@@ -1,4 +1,5 @@
 open Splice_devices
+open Splice_obs
 
 type row = {
   impl : Interpolator.impl;
@@ -29,6 +30,106 @@ let measure () =
       let total = List.fold_left (fun acc (_, c) -> acc + c) 0 per_scenario in
       { impl; per_scenario; total })
     Interpolator.all_impls
+
+(* ------------------------------------------------------------------ *)
+(* Instrumented measurement: Fig 9.2 with a per-layer cycle budget      *)
+(* ------------------------------------------------------------------ *)
+
+type breakdown = { calc : int; bus : int; driver : int; idle : int }
+
+let breakdown_total b = b.calc + b.bus + b.driver + b.idle
+
+type detailed_row = {
+  row : row;
+  breakdowns : (int * breakdown) list;
+  obs : Obs.t;
+}
+
+let measure_detailed ?(tracing = false) () =
+  List.map
+    (fun impl ->
+      let obs = Obs.create ~tracing () in
+      let host = Interpolator.make_host ~obs impl in
+      Splice_driver.Host.attach_cycle_breakdown host;
+      let m = Obs.metrics obs in
+      let snap () =
+        {
+          calc = Metrics.counter_value m "breakdown/calc";
+          bus = Metrics.counter_value m "breakdown/bus";
+          driver = Metrics.counter_value m "breakdown/driver";
+          idle = Metrics.counter_value m "breakdown/idle";
+        }
+      in
+      let diff a b =
+        {
+          calc = a.calc - b.calc;
+          bus = a.bus - b.bus;
+          driver = a.driver - b.driver;
+          idle = a.idle - b.idle;
+        }
+      in
+      let per =
+        List.map
+          (fun s ->
+            let before = snap () in
+            let result, cycles = Interpolator.run host s in
+            let expected =
+              Interpolator.reference (Interp_scenarios.inputs s)
+            in
+            if result <> expected then
+              failwith
+                (Printf.sprintf
+                   "%s, scenario %d: hardware returned %Ld, golden model %Ld"
+                   (Interpolator.impl_name impl) s.Interp_scenarios.id result
+                   expected);
+            (s.Interp_scenarios.id, cycles, diff (snap ()) before))
+          Interp_scenarios.all
+      in
+      let per_scenario = List.map (fun (id, c, _) -> (id, c)) per in
+      let total = List.fold_left (fun acc (_, c) -> acc + c) 0 per_scenario in
+      {
+        row = { impl; per_scenario; total };
+        breakdowns = List.map (fun (id, _, b) -> (id, b)) per;
+        obs;
+      })
+    Interpolator.all_impls
+
+let breakdown_table drows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "Cycle budget by layer (every cycle attributed to exactly one)\n";
+  Buffer.add_string buf
+    (Printf.sprintf "%-28s %6s %8s %8s %8s %8s %8s\n" "implementation" "scen"
+       "cycles" "calc" "bus" "driver" "idle");
+  List.iter
+    (fun d ->
+      let name = Interpolator.impl_name d.row.impl in
+      List.iter2
+        (fun (id, cycles) (id', b) ->
+          assert (id = id');
+          Buffer.add_string buf
+            (Printf.sprintf "%-28s %6d %8d %8d %8d %8d %8d\n" name id cycles
+               b.calc b.bus b.driver b.idle))
+        d.row.per_scenario d.breakdowns)
+    drows;
+  Buffer.contents buf
+
+let stats_report drows =
+  String.concat "\n"
+    (List.map
+       (fun d ->
+         Export.stats_report
+           ~label:(Interpolator.impl_name d.row.impl)
+           (Obs.metrics d.obs))
+       drows)
+
+let trace_procs drows =
+  List.map
+    (fun d -> (Interpolator.impl_name d.row.impl, Obs.tracer d.obs))
+    drows
+
+let chrome_trace drows = Export.chrome_trace (trace_procs drows)
+let chrome_trace_string drows = Export.chrome_trace_string (trace_procs drows)
 
 let cycles_of rows impl =
   match List.find_opt (fun r -> r.impl = impl) rows with

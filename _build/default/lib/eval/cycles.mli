@@ -16,6 +16,43 @@ val measure : unit -> row list
 val cycles_of : row list -> Interpolator.impl -> int
 (** Total cycles across scenarios. Raises [Not_found]. *)
 
+type breakdown = { calc : int; bus : int; driver : int; idle : int }
+(** Per-layer cycle budget for one scenario run: stub computation, bus
+    transactions in flight, driver issue/stall, and idle cycles. Each
+    simulated cycle lands in exactly one bucket
+    ({!Splice_driver.Host.attach_cycle_breakdown}), so
+    {!breakdown_total} equals the scenario's cycle count. *)
+
+val breakdown_total : breakdown -> int
+
+type detailed_row = {
+  row : row;  (** identical to what {!measure} reports *)
+  breakdowns : (int * breakdown) list;  (** scenario id, per-layer budget *)
+  obs : Splice_obs.Obs.t;
+      (** the context that accumulated the whole implementation's metrics
+          (and spans, when tracing) *)
+}
+
+val measure_detailed : ?tracing:bool -> unit -> detailed_row list
+(** {!measure} with observability attached: each implementation runs under
+    its own {!Splice_obs.Obs.t} with a per-cycle layer classifier, and with
+    span tracing when [tracing] is set. Instrumentation is passive — the
+    embedded [row]s match {!measure} exactly. *)
+
+val breakdown_table : detailed_row list -> string
+(** Per-implementation × scenario table of the per-layer cycle budgets. *)
+
+val stats_report : detailed_row list -> string
+(** Concatenated {!Splice_obs.Export.stats_report} of every implementation,
+    labelled by implementation name. *)
+
+val chrome_trace : detailed_row list -> Splice_obs.Json.t
+(** Chrome trace-event JSON: one process per implementation, one thread per
+    span track ([bus/…], [driver], [sis]). Only meaningful after
+    [measure_detailed ~tracing:true]. *)
+
+val chrome_trace_string : detailed_row list -> string
+
 type summary = {
   splice_plb_vs_naive : float;  (** paper: ≈ 0.75 (25 % faster) *)
   splice_fcb_vs_naive : float;  (** paper: ≈ 0.57 (43 % faster) *)

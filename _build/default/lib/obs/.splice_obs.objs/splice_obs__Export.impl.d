@@ -1,0 +1,1 @@
+lib/obs/export.ml: Buffer Json List Metrics Printf Tracer

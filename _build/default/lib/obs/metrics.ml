@@ -1,0 +1,123 @@
+type counter = { c_name : string; mutable count : int }
+type gauge = { g_name : string; mutable level : int }
+
+type histogram = {
+  h_name : string;
+  limits : int array;  (* inclusive upper bounds, strictly increasing *)
+  buckets : int array;  (* length limits + 1; last bucket is overflow *)
+  mutable n : int;
+  mutable sum : int;
+  mutable vmin : int;
+  mutable vmax : int;
+}
+
+type t = {
+  mutable counters : counter list;  (* newest first *)
+  mutable gauges : gauge list;
+  mutable histograms : histogram list;
+}
+
+let create () = { counters = []; gauges = []; histograms = [] }
+
+let counter t name =
+  match List.find_opt (fun c -> c.c_name = name) t.counters with
+  | Some c -> c
+  | None ->
+      let c = { c_name = name; count = 0 } in
+      t.counters <- c :: t.counters;
+      c
+
+let incr c = c.count <- c.count + 1
+let add c n = c.count <- c.count + n
+let count c = c.count
+
+let gauge t name =
+  match List.find_opt (fun g -> g.g_name = name) t.gauges with
+  | Some g -> g
+  | None ->
+      let g = { g_name = name; level = 0 } in
+      t.gauges <- g :: t.gauges;
+      g
+
+let set g v = g.level <- v
+let level g = g.level
+
+(* powers of two cover every cycle-count distribution we histogram *)
+let default_limits = [| 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024 |]
+
+let histogram ?(limits = default_limits) t name =
+  match List.find_opt (fun h -> h.h_name = name) t.histograms with
+  | Some h -> h
+  | None ->
+      Array.iteri
+        (fun i l ->
+          if i > 0 && l <= limits.(i - 1) then
+            invalid_arg "Metrics.histogram: limits must be strictly increasing")
+        limits;
+      let h =
+        {
+          h_name = name;
+          limits = Array.copy limits;
+          buckets = Array.make (Array.length limits + 1) 0;
+          n = 0;
+          sum = 0;
+          vmin = max_int;
+          vmax = min_int;
+        }
+      in
+      t.histograms <- h :: t.histograms;
+      h
+
+let observe h v =
+  h.n <- h.n + 1;
+  h.sum <- h.sum + v;
+  if v < h.vmin then h.vmin <- v;
+  if v > h.vmax then h.vmax <- v;
+  let nl = Array.length h.limits in
+  let rec bucket i = if i >= nl || v <= h.limits.(i) then i else bucket (i + 1) in
+  let i = bucket 0 in
+  h.buckets.(i) <- h.buckets.(i) + 1
+
+let observations h = h.n
+let total h = h.sum
+let mean h = if h.n = 0 then 0. else float_of_int h.sum /. float_of_int h.n
+let min_value h = if h.n = 0 then 0 else h.vmin
+let max_value h = if h.n = 0 then 0 else h.vmax
+
+let bucket_counts h =
+  Array.to_list
+    (Array.mapi
+       (fun i c ->
+         let limit =
+           if i < Array.length h.limits then Some h.limits.(i) else None
+         in
+         (limit, c))
+       h.buckets)
+
+let by_name name_of l = List.sort (fun a b -> compare (name_of a) (name_of b)) l
+let counters t = by_name (fun c -> c.c_name) t.counters
+let gauges t = by_name (fun g -> g.g_name) t.gauges
+let histograms t = by_name (fun h -> h.h_name) t.histograms
+let counter_name c = c.c_name
+let gauge_name g = g.g_name
+let histogram_name h = h.h_name
+
+let counter_value t name =
+  match List.find_opt (fun c -> c.c_name = name) t.counters with
+  | Some c -> c.count
+  | None -> 0
+
+let find_histogram t name =
+  List.find_opt (fun h -> h.h_name = name) t.histograms
+
+let reset t =
+  List.iter (fun c -> c.count <- 0) t.counters;
+  List.iter (fun g -> g.level <- 0) t.gauges;
+  List.iter
+    (fun h ->
+      Array.fill h.buckets 0 (Array.length h.buckets) 0;
+      h.n <- 0;
+      h.sum <- 0;
+      h.vmin <- max_int;
+      h.vmax <- min_int)
+    t.histograms

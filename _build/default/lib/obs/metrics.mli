@@ -1,0 +1,72 @@
+(** Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+    Built for always-on use inside the cycle-accurate simulation: every
+    recording operation is a few integer mutations on a pre-registered
+    record — no allocation, no hashing, no formatting on the hot path.
+    Registration ([counter] / [gauge] / [histogram]) is find-or-create by
+    name and is expected at component-construction time only.
+
+    Metric names are slash-separated paths by layer:
+    [sim/…], [bus/<name>/…], [arbiter/…], [sis/…], [driver/…],
+    [breakdown/…] (see the Observability section of DESIGN.md). *)
+
+type t
+(** A registry. Each simulation kernel owns one (via [Obs.t]). *)
+
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+
+(** {1 Registration (cold path)} *)
+
+val counter : t -> string -> counter
+(** Find-or-create: the same name always yields the same record. *)
+
+val gauge : t -> string -> gauge
+
+val histogram : ?limits:int array -> t -> string -> histogram
+(** [limits] are inclusive upper bucket bounds, strictly increasing
+    (default powers of two 1..1024); one overflow bucket is appended.
+    Raises [Invalid_argument] on non-increasing limits. *)
+
+val default_limits : int array
+
+(** {1 Recording (hot path — no allocation)} *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val set : gauge -> int -> unit
+val observe : histogram -> int -> unit
+
+(** {1 Reading} *)
+
+val count : counter -> int
+val level : gauge -> int
+val observations : histogram -> int
+val total : histogram -> int
+val mean : histogram -> float
+val min_value : histogram -> int
+val max_value : histogram -> int
+
+val bucket_counts : histogram -> (int option * int) list
+(** (upper bound, count) per bucket in order; [None] is the overflow
+    bucket. *)
+
+val counters : t -> counter list
+(** Sorted by name. *)
+
+val gauges : t -> gauge list
+val histograms : t -> histogram list
+val counter_name : counter -> string
+val gauge_name : gauge -> string
+val histogram_name : histogram -> string
+
+val counter_value : t -> string -> int
+(** 0 when the counter was never registered. *)
+
+val find_histogram : t -> string -> histogram option
+
+val reset : t -> unit
+(** Zero every metric, keeping registrations (handles stay valid). *)

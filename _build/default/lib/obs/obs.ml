@@ -1,0 +1,24 @@
+type t = {
+  enabled : bool;
+  metrics : Metrics.t;
+  tracer : Tracer.t;
+  mutable now : int;
+}
+
+let create ?(tracing = false) () =
+  {
+    enabled = true;
+    metrics = Metrics.create ();
+    tracer = Tracer.create ~enabled:tracing ();
+    now = 0;
+  }
+
+let none =
+  { enabled = false; metrics = Metrics.create (); tracer = Tracer.create (); now = 0 }
+
+let active t = t.enabled
+let metrics t = t.metrics
+let tracer t = t.tracer
+let now t = t.now
+let set_now t cycle = t.now <- cycle
+let tracing t = t.enabled && Tracer.enabled t.tracer

@@ -1,0 +1,33 @@
+(** Observability context: one metrics registry plus one span tracer,
+    sharing the simulation's cycle clock.
+
+    A context is owned by each simulation kernel ([Kernel.create ?obs]) and
+    handed to every instrumented component at wiring time. Metrics are
+    always on (integer mutations only); span tracing is opt-in
+    ([create ~tracing:true] or [Tracer.enable]) because spans allocate one
+    record per event. [none] is a shared disabled context: instrumented
+    code guards recording with {!active}, so components wired to it record
+    nothing. *)
+
+type t
+
+val create : ?tracing:bool -> unit -> t
+(** A fresh enabled context. [tracing] (default false) pre-enables the
+    span tracer. *)
+
+val none : t
+(** Shared disabled context — the zero-overhead opt-out. *)
+
+val active : t -> bool
+val metrics : t -> Metrics.t
+val tracer : t -> Tracer.t
+
+val tracing : t -> bool
+(** [active t && Tracer.enabled (tracer t)] — guard span bookkeeping that
+    would otherwise allocate labels. *)
+
+val now : t -> int
+(** The current simulation cycle, maintained by the owning kernel; span
+    timestamps read it. *)
+
+val set_now : t -> int -> unit

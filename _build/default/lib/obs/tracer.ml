@@ -1,0 +1,83 @@
+type span = {
+  sp_track : string;
+  sp_name : string;
+  sp_start : int;
+  mutable sp_end : int;  (* -1 while open *)
+}
+
+type event =
+  | Complete of { track : string; name : string; ts : int; dur : int }
+  | Instant of { track : string; name : string; ts : int }
+
+type t = {
+  mutable enabled : bool;
+  mutable spans : span list;  (* newest first, open and closed *)
+  mutable instants : (string * string * int) list;  (* track, name, ts *)
+}
+
+let create ?(enabled = false) () = { enabled; spans = []; instants = [] }
+let enable t = t.enabled <- true
+let disable t = t.enabled <- false
+let enabled t = t.enabled
+
+let null_span = { sp_track = ""; sp_name = ""; sp_start = 0; sp_end = 0 }
+
+let begin_span t ~track ~ts name =
+  if not t.enabled then null_span
+  else begin
+    let s = { sp_track = track; sp_name = name; sp_start = ts; sp_end = -1 } in
+    t.spans <- s :: t.spans;
+    s
+  end
+
+let end_span s ~ts = if s != null_span then s.sp_end <- max ts s.sp_start
+
+let complete t ~track ~ts ~dur name =
+  if t.enabled then
+    t.spans <-
+      { sp_track = track; sp_name = name; sp_start = ts; sp_end = ts + dur }
+      :: t.spans
+
+let instant t ~track ~ts name =
+  if t.enabled then t.instants <- (track, name, ts) :: t.instants
+
+let ts_of = function Complete { ts; _ } | Instant { ts; _ } -> ts
+
+let events t =
+  let closed =
+    List.filter_map
+      (fun s ->
+        if s.sp_end < 0 then None
+        else
+          Some
+            (Complete
+               {
+                 track = s.sp_track;
+                 name = s.sp_name;
+                 ts = s.sp_start;
+                 dur = s.sp_end - s.sp_start;
+               }))
+      t.spans
+  in
+  let instants =
+    List.map (fun (track, name, ts) -> Instant { track; name; ts }) t.instants
+  in
+  (* both lists are newest-first; a stable sort on ts restores emission
+     order within a cycle *)
+  List.stable_sort
+    (fun a b -> compare (ts_of a) (ts_of b))
+    (List.rev_append closed (List.rev instants))
+
+let event_count t =
+  List.length (List.filter (fun s -> s.sp_end >= 0) t.spans)
+  + List.length t.instants
+
+let tracks t =
+  let of_event = function
+    | Complete { track; _ } | Instant { track; _ } -> track
+  in
+  List.sort_uniq compare (List.map of_event (events t))
+
+let clear t =
+  t.spans <- [];
+  t.instants <- []

@@ -1,0 +1,44 @@
+(** Span tracer: begin/end (and instant) events stamped with bus-clock
+    cycles.
+
+    Disabled tracers cost one branch per call and allocate nothing —
+    [begin_span] returns a shared dummy handle that [end_span] ignores, so
+    instrumented components need no conditional wiring. Tracks name the
+    instrumented component ([bus/plb], [sis], [driver], …) and become one
+    timeline row each in the Chrome-trace export (see {!Export}). *)
+
+type t
+type span
+
+type event =
+  | Complete of { track : string; name : string; ts : int; dur : int }
+  | Instant of { track : string; name : string; ts : int }
+
+val create : ?enabled:bool -> unit -> t
+(** [enabled] defaults to [false]. *)
+
+val enable : t -> unit
+val disable : t -> unit
+val enabled : t -> bool
+
+val null_span : span
+(** The dummy handle a disabled tracer hands out. *)
+
+val begin_span : t -> track:string -> ts:int -> string -> span
+val end_span : span -> ts:int -> unit
+(** End timestamps are clamped to the span start; ending [null_span] is a
+    no-op. *)
+
+val complete : t -> track:string -> ts:int -> dur:int -> string -> unit
+(** Record an already-measured span in one call. *)
+
+val instant : t -> track:string -> ts:int -> string -> unit
+(** A point event (exported as a zero-duration span). *)
+
+val events : t -> event list
+(** Closed spans and instants, ordered by start timestamp (stable within a
+    cycle). Open spans are excluded. *)
+
+val event_count : t -> int
+val tracks : t -> string list
+val clear : t -> unit

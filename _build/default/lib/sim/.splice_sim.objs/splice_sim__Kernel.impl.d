@@ -1,1 +1,1 @@
-lib/sim/kernel.ml: Component List Signal
+lib/sim/kernel.ml: Component List Metrics Obs Signal Splice_obs

@@ -1,1 +1,1 @@
-lib/sim/kernel.mli: Component
+lib/sim/kernel.mli: Component Splice_obs

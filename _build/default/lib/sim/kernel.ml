@@ -1,24 +1,44 @@
+open Splice_obs
+
 type t = {
   max_comb_iters : int;
+  obs : Obs.t;
   mutable components : Component.t list; (* reversed *)
   mutable checks : (string * (int -> unit)) list; (* reversed *)
   mutable hooks : (int -> unit) list; (* reversed *)
   mutable settle_hooks : (int -> unit) list; (* reversed *)
   mutable cycle_count : int;
+  mutable comb_iters_total : int;
+  mutable checks_run_total : int;
+  comb_hist : Metrics.histogram;
+  cycles_counter : Metrics.counter;
+  checks_counter : Metrics.counter;
 }
 
+type stats = { cycles : int; comb_iters : int; checks_run : int }
+
 exception Comb_divergence of { cycle : int; iterations : int }
-exception Timeout of { cycle : int; waiting_for : string }
+exception Timeout of { cycle : int; elapsed : int; waiting_for : string }
 exception Check_failed of { cycle : int; check : string; message : string }
 
-let create ?(max_comb_iters = 64) () =
+let create ?(max_comb_iters = 64) ?obs () =
+  let obs = match obs with Some o -> o | None -> Obs.create () in
+  let m = Obs.metrics obs in
   {
     max_comb_iters;
+    obs;
     components = [];
     checks = [];
     hooks = [];
     settle_hooks = [];
     cycle_count = 0;
+    comb_iters_total = 0;
+    checks_run_total = 0;
+    comb_hist =
+      Metrics.histogram ~limits:[| 1; 2; 3; 4; 6; 8; 16; 32; 64 |] m
+        "sim/comb_iters";
+    cycles_counter = Metrics.counter m "sim/cycles";
+    checks_counter = Metrics.counter m "sim/checks_run";
   }
 
 let add t c = t.components <- c :: t.components
@@ -34,17 +54,28 @@ let settle t =
       raise (Comb_divergence { cycle = t.cycle_count; iterations = i });
     let before = Signal.change_count () in
     List.iter (fun (c : Component.t) -> c.comb ()) comps;
-    if Signal.change_count () <> before then go (i + 1)
+    if Signal.change_count () <> before then go (i + 1) else i + 1
   in
-  go 0
+  let iters = go 0 in
+  t.comb_iters_total <- t.comb_iters_total + iters;
+  if Obs.active t.obs then Metrics.observe t.comb_hist iters
 
 let cycle t =
+  Obs.set_now t.obs t.cycle_count;
   settle t;
-  List.iter (fun (_, f) -> f t.cycle_count) (List.rev t.checks);
+  let checks = List.rev t.checks in
+  List.iter (fun (_, f) -> f t.cycle_count) checks;
+  (match checks with
+  | [] -> ()
+  | _ ->
+      let n = List.length checks in
+      t.checks_run_total <- t.checks_run_total + n;
+      if Obs.active t.obs then Metrics.add t.checks_counter n);
   List.iter (fun f -> f t.cycle_count) (List.rev t.settle_hooks);
   List.iter (fun (c : Component.t) -> c.seq ()) (List.rev t.components);
   Signal.commit_pending ();
   t.cycle_count <- t.cycle_count + 1;
+  if Obs.active t.obs then Metrics.incr t.cycles_counter;
   List.iter (fun f -> f t.cycle_count) (List.rev t.hooks)
 
 let run t n =
@@ -57,7 +88,13 @@ let run_until ?(max = 100_000) ?(what = "condition") t p =
   let rec go () =
     if p () then t.cycle_count - start
     else if t.cycle_count - start >= max then
-      raise (Timeout { cycle = t.cycle_count; waiting_for = what })
+      raise
+        (Timeout
+           {
+             cycle = t.cycle_count;
+             elapsed = t.cycle_count - start;
+             waiting_for = what;
+           })
     else begin
       cycle t;
       go ()
@@ -66,3 +103,11 @@ let run_until ?(max = 100_000) ?(what = "condition") t p =
   go ()
 
 let cycles t = t.cycle_count
+let obs t = t.obs
+
+let stats t =
+  {
+    cycles = t.cycle_count;
+    comb_iters = t.comb_iters_total;
+    checks_run = t.checks_run_total;
+  }

@@ -7,16 +7,30 @@
     + run every check registered with {!add_check} (protocol monitors);
     + run every component's [seq] callback (all observe settled pre-edge
       values) and commit their deferred writes simultaneously;
-    + fire end-of-cycle hooks (tracing). *)
+    + fire end-of-cycle hooks (tracing).
+
+    Every kernel owns a {!Splice_obs.Obs.t} observability context (cycle
+    histogram of comb-fixpoint passes, cycle/check counters); instrumented
+    components reach it through {!obs}. *)
 
 type t
 
+type stats = { cycles : int; comb_iters : int; checks_run : int }
+(** Aggregate kernel counters: cycles simulated, total comb-fixpoint passes
+    across all cycles, total protocol-check executions. *)
+
 exception Comb_divergence of { cycle : int; iterations : int }
-exception Timeout of { cycle : int; waiting_for : string }
+
+exception Timeout of { cycle : int; elapsed : int; waiting_for : string }
+(** [cycle] is the absolute kernel cycle at expiry, [elapsed] the cycles
+    consumed by the timed-out {!run_until} call, [waiting_for] its [what]
+    label. *)
+
 exception Check_failed of { cycle : int; check : string; message : string }
 
-val create : ?max_comb_iters:int -> unit -> t
-(** [max_comb_iters] defaults to 64. *)
+val create : ?max_comb_iters:int -> ?obs:Splice_obs.Obs.t -> unit -> t
+(** [max_comb_iters] defaults to 64. [obs] defaults to a fresh enabled
+    context (pass [Splice_obs.Obs.none] to opt out of instrumentation). *)
 
 val add : t -> Component.t -> unit
 (** Evaluation order is registration order (within each fixpoint pass). *)
@@ -50,3 +64,10 @@ val run_until : ?max:int -> ?what:string -> t -> (unit -> bool) -> int
 
 val cycles : t -> int
 (** Total cycles simulated so far. *)
+
+val obs : t -> Splice_obs.Obs.t
+(** The kernel's observability context. Components read span timestamps
+    from [Obs.now], which the kernel sets at the start of every cycle. *)
+
+val stats : t -> stats
+(** Kernel-level counters, available without any exporter. *)

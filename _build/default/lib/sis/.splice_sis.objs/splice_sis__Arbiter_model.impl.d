@@ -1,1 +1,1 @@
-lib/sis/arbiter_model.ml: Bits Component List Signal Sis_if Splice_bits Splice_sim Stub_model
+lib/sis/arbiter_model.ml: Bits Component List Metrics Obs Printf Signal Sis_if Splice_bits Splice_obs Splice_sim Stub_model

@@ -1,1 +1,1 @@
-lib/sis/arbiter_model.mli: Component Sis_if Splice_sim Stub_model
+lib/sis/arbiter_model.mli: Component Sis_if Splice_obs Splice_sim Stub_model

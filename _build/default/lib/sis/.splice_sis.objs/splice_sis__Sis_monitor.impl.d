@@ -1,1 +1,1 @@
-lib/sis/sis_monitor.ml: Bits Format Kernel Signal Sis_if Splice_bits Splice_sim
+lib/sis/sis_monitor.ml: Bits Format Kernel Metrics Obs Printf Signal Sis_if Splice_bits Splice_obs Splice_sim Tracer

@@ -1,7 +1,8 @@
 open Splice_sim
 open Splice_bits
+open Splice_obs
 
-let make ~(sis : Sis_if.t) ~stubs =
+let make ?(obs = Obs.none) ~stubs (sis : Sis_if.t) =
   let ids = List.map fst stubs in
   List.iter
     (fun id -> if id <= 0 then invalid_arg "Arbiter_model.make: id must be >= 1")
@@ -35,4 +36,41 @@ let make ~(sis : Sis_if.t) ~stubs =
     in
     Signal.set sis.Sis_if.calc_done vec
   in
-  Component.make ~comb "arbiter"
+  (* grant bookkeeping: a grant is an IO_DONE-high cycle for the selected
+     function; the wait histogram measures request strobe -> first grant *)
+  let m = Obs.metrics obs in
+  let grants = Metrics.counter m "arbiter/grants" in
+  let per_id =
+    List.map
+      (fun id -> (id, Metrics.counter m (Printf.sprintf "arbiter/grants/%d" id)))
+      sorted
+  in
+  let h_wait =
+    Metrics.histogram ~limits:[| 0; 1; 2; 4; 8; 16; 32; 64; 128 |] m
+      "arbiter/wait_cycles"
+  in
+  let waiting = ref None in
+  let seq () =
+    if Obs.active obs then begin
+      if Signal.get_bool sis.Sis_if.rst then waiting := None
+      else begin
+        let id = Signal.get_int sis.Sis_if.func_id in
+        let done_ = Signal.get_bool sis.Sis_if.io_done in
+        let requested = Signal.get_bool sis.Sis_if.io_enable in
+        if done_ then begin
+          Metrics.incr grants;
+          (match List.assoc_opt id per_id with
+          | Some c -> Metrics.incr c
+          | None -> ());
+          match !waiting with
+          | Some (wid, start) when wid = id ->
+              Metrics.observe h_wait (Obs.now obs - start);
+              waiting := None
+          | _ -> if requested then Metrics.observe h_wait 0
+        end
+        else if requested && !waiting = None then
+          waiting := Some (id, Obs.now obs)
+      end
+    end
+  in
+  Component.make ~comb ~seq "arbiter"

@@ -26,16 +26,18 @@ let build ?(monitor = true) kernel (spec : Spec.t) ~behaviors =
       spec.funcs
   in
   let arbiter =
-    Arbiter_model.make ~sis
+    Arbiter_model.make ~obs:(Kernel.obs kernel)
       ~stubs:
         (List.map
            (fun (_, s) -> (Stub_model.func_id s, Stub_model.ports s))
            stubs)
+      sis
   in
   (* stubs first, then the arbiter, so a single settle pass usually suffices *)
   List.iter (fun (_, s) -> Kernel.add kernel (Stub_model.component s)) stubs;
   Kernel.add kernel arbiter;
   if monitor then Sis_monitor.attach kernel sis;
+  Sis_monitor.attach_tracer kernel sis;
   { spec; sis; stubs }
 
 let sis t = t.sis

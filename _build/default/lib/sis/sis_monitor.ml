@@ -73,3 +73,58 @@ let transactions (sis : Sis_if.t) =
   fun () ->
     if Signal.get_bool sis.io_done then incr count;
     !count
+
+let attach_tracer kernel (sis : Sis_if.t) =
+  let open Splice_obs in
+  let obs = Kernel.obs kernel in
+  if Obs.active obs then begin
+    let m = Obs.metrics obs in
+    let tracer = Obs.tracer obs in
+    let words = Metrics.counter m "sis/transactions" in
+    let writes = Metrics.counter m "sis/writes" in
+    let reads = Metrics.counter m "sis/reads" in
+    (* at most one SIS request is outstanding (§4.2.1), so a single slot *)
+    let pending = ref None in
+    Kernel.on_settle kernel (fun cycle ->
+        if Signal.get_bool sis.rst then begin
+          match !pending with
+          | Some (span, _) ->
+              Tracer.end_span span ~ts:cycle;
+              pending := None
+          | None -> ()
+        end
+        else begin
+          let io_en = Signal.get_bool sis.io_enable in
+          let div = Signal.get_bool sis.data_in_valid in
+          let dov = Signal.get_bool sis.data_out_valid in
+          let done_ = Signal.get_bool sis.io_done in
+          let fid = Signal.get_int sis.func_id in
+          if done_ then begin
+            Metrics.incr words;
+            Tracer.instant tracer ~track:"sis" ~ts:cycle "word"
+          end;
+          if io_en then
+            if div then Metrics.incr writes else Metrics.incr reads;
+          if Tracer.enabled tracer then begin
+            (match !pending with
+            | Some (span, `Write) when done_ ->
+                Tracer.end_span span ~ts:cycle;
+                pending := None
+            | Some (span, `Read) when dov ->
+                Tracer.end_span span ~ts:cycle;
+                pending := None
+            | _ -> ());
+            if io_en && !pending = None then begin
+              let kind, completed = if div then ("write", done_) else ("read", dov) in
+              let name = Printf.sprintf "%s id=%d" kind fid in
+              if completed then
+                Tracer.complete tracer ~track:"sis" ~ts:cycle ~dur:0 name
+              else
+                pending :=
+                  Some
+                    ( Tracer.begin_span tracer ~track:"sis" ~ts:cycle name,
+                      if div then `Write else `Read )
+            end
+          end
+        end)
+  end

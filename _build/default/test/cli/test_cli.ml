@@ -70,6 +70,36 @@ let () =
   let rc, _ = run (Printf.sprintf "gen %s -o %s --force --linux" (spec "hw_timer.splice") dir) in
   check "--force --linux regenerates with the kernel module" (fun () ->
       rc = 0 && Sys.file_exists (Filename.concat dir "hw_timer/hw_timer_linux.c"));
+  (* eval with observability exports *)
+  let stats_file = Filename.temp_file "splicestats" ".txt" in
+  let trace_file = Filename.temp_file "splicetrace" ".json" in
+  let rc, out =
+    run
+      (Printf.sprintf "eval --stats %s --trace %s"
+         (Filename.quote stats_file) (Filename.quote trace_file))
+  in
+  check "eval with exports succeeds" (fun () ->
+      rc = 0 && contains out "wrote stats report" && contains out "wrote Chrome trace");
+  let slurp p =
+    let ic = open_in p in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let stats = slurp stats_file in
+  check "stats report has the per-layer budget table" (fun () ->
+      contains stats "Cycle budget by layer"
+      && contains stats "breakdown/bus"
+      && contains stats "arbiter/grants"
+      && contains stats "sis/transactions");
+  let trace = slurp trace_file in
+  check "trace file is a Chrome trace-event array" (fun () ->
+      String.length trace > 2
+      && trace.[0] = '['
+      && contains trace "\"ph\":\"X\""
+      && contains trace "\"ts\":");
+  Sys.remove stats_file;
+  Sys.remove trace_file;
   (* clean up *)
   let dev = Filename.concat dir "hw_timer" in
   Array.iter (fun f -> Sys.remove (Filename.concat dev f)) (Sys.readdir dev);

@@ -1,0 +1,371 @@
+(* Observability-layer tests: metrics registry, span tracer, JSON
+   round-trip of the Chrome-trace export, kernel stats, SIS transaction
+   counting against the span stream, the per-layer cycle breakdown of the
+   Fig 9.2 harness, and a VCD identifier-allocation regression. *)
+
+open Splice
+
+let t name f = Alcotest.test_case name `Quick f
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let metrics_tests =
+  [
+    t "counter find-or-create shares the record" (fun () ->
+        let m = Metrics.create () in
+        let a = Metrics.counter m "a/b" in
+        Metrics.incr a;
+        Metrics.add a 3;
+        (* a second registration under the same name is the same record *)
+        Metrics.incr (Metrics.counter m "a/b");
+        check_int "count" 5 (Metrics.count a);
+        check_int "by name" 5 (Metrics.counter_value m "a/b");
+        check_int "missing counters read 0" 0 (Metrics.counter_value m "nope"));
+    t "histogram buckets, overflow, and moments" (fun () ->
+        let m = Metrics.create () in
+        let h = Metrics.histogram ~limits:[| 1; 2; 4 |] m "h" in
+        List.iter (Metrics.observe h) [ 1; 2; 3; 4; 5; 100 ];
+        Alcotest.(check (list (pair (option int) int)))
+          "buckets"
+          [ (Some 1, 1); (Some 2, 1); (Some 4, 2); (None, 2) ]
+          (Metrics.bucket_counts h);
+        check_int "observations" 6 (Metrics.observations h);
+        check_int "total" 115 (Metrics.total h);
+        check_int "min" 1 (Metrics.min_value h);
+        check_int "max" 100 (Metrics.max_value h));
+    t "non-increasing histogram limits rejected" (fun () ->
+        let m = Metrics.create () in
+        match Metrics.histogram ~limits:[| 4; 4 |] m "bad" with
+        | _ -> Alcotest.fail "expected rejection"
+        | exception Invalid_argument _ -> ());
+    t "gauges and reset" (fun () ->
+        let m = Metrics.create () in
+        let g = Metrics.gauge m "depth" in
+        Metrics.set g 7;
+        check_int "level" 7 (Metrics.level g);
+        let c = Metrics.counter m "n" in
+        Metrics.incr c;
+        Metrics.reset m;
+        check_int "gauge zeroed" 0 (Metrics.level g);
+        check_int "counter zeroed, handle still valid" 0 (Metrics.count c);
+        Metrics.incr c;
+        check_int "records again" 1 (Metrics.counter_value m "n"));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Tracer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let tracer_tests =
+  [
+    t "disabled tracer records nothing" (fun () ->
+        let tr = Tracer.create () in
+        let s = Tracer.begin_span tr ~track:"x" ~ts:1 "a" in
+        Tracer.end_span s ~ts:5;
+        Tracer.instant tr ~track:"x" ~ts:2 "b";
+        Tracer.complete tr ~track:"x" ~ts:3 ~dur:1 "c";
+        check_int "no events" 0 (Tracer.event_count tr));
+    t "events sorted by timestamp; open spans excluded" (fun () ->
+        let tr = Tracer.create ~enabled:true () in
+        let s = Tracer.begin_span tr ~track:"a" ~ts:5 "late" in
+        Tracer.complete tr ~track:"a" ~ts:2 ~dur:3 "early";
+        Tracer.instant tr ~track:"b" ~ts:7 "mid";
+        let _open = Tracer.begin_span tr ~track:"a" ~ts:0 "never closed" in
+        Tracer.end_span s ~ts:9;
+        let ts_of = function
+          | Tracer.Complete { ts; _ } | Tracer.Instant { ts; _ } -> ts
+        in
+        Alcotest.(check (list int))
+          "timestamps" [ 2; 5; 7 ]
+          (List.map ts_of (Tracer.events tr));
+        Alcotest.(check (list string)) "tracks" [ "a"; "b" ] (Tracer.tracks tr));
+    t "end_span clamps to the start cycle" (fun () ->
+        let tr = Tracer.create ~enabled:true () in
+        let s = Tracer.begin_span tr ~track:"a" ~ts:10 "x" in
+        Tracer.end_span s ~ts:3;
+        match Tracer.events tr with
+        | [ Tracer.Complete { ts; dur; _ } ] ->
+            check_int "ts" 10 ts;
+            check_int "dur clamped" 0 dur
+        | _ -> Alcotest.fail "expected one complete event");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* JSON + Chrome-trace round trip                                      *)
+(* ------------------------------------------------------------------ *)
+
+let json_tests =
+  [
+    t "print/parse round trip" (fun () ->
+        let v =
+          Json.Obj
+            [
+              ("s", Json.String "a\"b\\c\n\t");
+              ("n", Json.Int (-42));
+              ("f", Json.Float 1.5);
+              ("l", Json.List [ Json.Bool true; Json.Null; Json.Int 0 ]);
+            ]
+        in
+        check_bool "equal after round trip" true
+          (Json.of_string_exn (Json.to_string v) = v));
+    t "parse errors are reported, not raised" (fun () ->
+        (match Json.of_string "[1," with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected parse error");
+        match Json.of_string "{\"a\":1} trailing" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected trailing-garbage error");
+    t "chrome trace round-trips and is well-formed" (fun () ->
+        let tr = Tracer.create ~enabled:true () in
+        Tracer.complete tr ~track:"bus/plb" ~ts:4 ~dur:6 "write(id=1)";
+        Tracer.instant tr ~track:"sis" ~ts:9 "word";
+        let s = Export.chrome_trace_string [ ("impl", tr) ] in
+        let events =
+          match Json.to_list (Json.of_string_exn s) with
+          | Some l -> l
+          | None -> Alcotest.fail "trace is not a JSON array"
+        in
+        check_int "two events" 2 (List.length events);
+        List.iter
+          (fun e ->
+            let str k = Option.bind (Json.member k e) Json.to_str in
+            let int k = Option.bind (Json.member k e) Json.to_int in
+            (match str "ph" with
+            | Some ("X" | "B" | "E" | "i") -> ()
+            | _ -> Alcotest.fail "bad or missing ph");
+            check_bool "has name" true (str "name" <> None);
+            check_bool "cat carries label" true
+              (match str "cat" with
+              | Some c -> String.length c > 5 && String.sub c 0 5 = "impl/"
+              | None -> false);
+            check_bool "integer ts" true (int "ts" <> None))
+          events);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Kernel stats + timeout payload                                      *)
+(* ------------------------------------------------------------------ *)
+
+let kernel_tests =
+  [
+    t "stats mirror the run and the sim/* metrics" (fun () ->
+        let k = Kernel.create () in
+        Kernel.add k (Component.make ~comb:(fun () -> ()) "nop");
+        Kernel.add_check k "noop" (fun _ -> ());
+        Kernel.run k 10;
+        let s = Kernel.stats k in
+        check_int "cycles" 10 s.Kernel.cycles;
+        check_int "one check per cycle" 10 s.Kernel.checks_run;
+        check_bool "at least one comb iteration per cycle" true
+          (s.Kernel.comb_iters >= 10);
+        let m = Obs.metrics (Kernel.obs k) in
+        check_int "sim/cycles counter" 10 (Metrics.counter_value m "sim/cycles");
+        check_int "sim/checks_run counter" 10
+          (Metrics.counter_value m "sim/checks_run");
+        match Metrics.find_histogram m "sim/comb_iters" with
+        | Some h -> check_int "one observation per cycle" 10 (Metrics.observations h)
+        | None -> Alcotest.fail "sim/comb_iters histogram missing");
+    t "Timeout carries the elapsed cycle count" (fun () ->
+        let k = Kernel.create () in
+        Kernel.run k 3 (* pre-existing cycles must not leak into elapsed *);
+        match Kernel.run_until ~max:5 ~what:"never" k (fun () -> false) with
+        | _ -> Alcotest.fail "expected timeout"
+        | exception Kernel.Timeout { cycle; elapsed; waiting_for } ->
+            check_int "elapsed counts only this call" 5 elapsed;
+            check_int "cycle is absolute" 8 cycle;
+            Alcotest.(check string) "what" "never" waiting_for);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* SIS transaction counting vs the span stream                         *)
+(* ------------------------------------------------------------------ *)
+
+let spec_of decls =
+  Validate.of_string_exn ~lookup_bus:Registry.lookup_caps
+    ("%device_name d\n%bus_type plb\n%bus_width 32\n%base_address 0x0\n" ^ decls)
+
+let run_traced decls ~args =
+  let spec = spec_of decls in
+  let obs = Obs.create ~tracing:true () in
+  let host =
+    Host.create ~obs spec ~behaviors:(fun _ ->
+        Stub_model.behavior ~cycles:2 (fun _ -> [ 0L ]))
+  in
+  let _ = Host.call host ~func:(List.hd spec.Spec.funcs).Spec.name ~args in
+  obs
+
+let span_names obs =
+  List.filter_map
+    (function
+      | Tracer.Complete { track = "sis"; name; _ } when name <> "word" ->
+          Some name
+      | _ -> None)
+    (Tracer.events (Obs.tracer obs))
+
+let sis_tests =
+  [
+    t "sis/transactions counts one word per IO_DONE cycle" (fun () ->
+        (* 4 data words + 1 ack read = 5 completions, as the waveform tests
+           established independently *)
+        let obs = run_traced "void f(int*:4 xs);" ~args:[ ("xs", [ 1L; 2L; 3L; 4L ]) ] in
+        let m = Obs.metrics obs in
+        check_int "transactions" 5 (Metrics.counter_value m "sis/transactions");
+        check_int "writes" 4 (Metrics.counter_value m "sis/writes");
+        check_int "reads" 1 (Metrics.counter_value m "sis/reads"));
+    t "span stream matches the transaction counters" (fun () ->
+        let obs = run_traced "void f(int*:4 xs);" ~args:[ ("xs", [ 1L; 2L; 3L; 4L ]) ] in
+        let words =
+          List.length
+            (List.filter
+               (function
+                 | Tracer.Instant { name = "word"; _ } -> true | _ -> false)
+               (Tracer.events (Obs.tracer obs)))
+        in
+        check_int "one word instant per transaction"
+          (Metrics.counter_value (Obs.metrics obs) "sis/transactions")
+          words;
+        let spans = span_names obs in
+        check_int "one span per SIS word transfer" 5 (List.length spans);
+        check_int "four write spans" 4
+          (List.length
+             (List.filter (fun n -> String.length n >= 5 && String.sub n 0 5 = "write") spans));
+        check_int "one read span" 1
+          (List.length
+             (List.filter (fun n -> String.length n >= 4 && String.sub n 0 4 = "read") spans)));
+    t "Obs.none hosts record nothing" (fun () ->
+        let spec = spec_of "void f(int x);" in
+        let host =
+          Host.create ~obs:Obs.none spec ~behaviors:(fun _ ->
+              Stub_model.behavior ~cycles:2 (fun _ -> [ 0L ]))
+        in
+        let _ = Host.call host ~func:"f" ~args:[ ("x", [ 1L ]) ] in
+        let obs = Host.obs host in
+        check_bool "inactive" false (Obs.active obs);
+        check_int "no transactions recorded" 0
+          (Metrics.counter_value (Obs.metrics obs) "sis/transactions");
+        check_int "no spans" 0 (Tracer.event_count (Obs.tracer obs)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Fig 9.2 breakdown                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let breakdown_tests =
+  [
+    t "instrumented measurement reproduces Fig 9.2 exactly" (fun () ->
+        let plain = Cycles.measure () in
+        let detailed = Cycles.measure_detailed () in
+        List.iter2
+          (fun (r : Cycles.row) (d : Cycles.detailed_row) ->
+            Alcotest.(check (list (pair int int)))
+              (Interpolator.impl_name r.Cycles.impl)
+              r.Cycles.per_scenario d.Cycles.row.Cycles.per_scenario)
+          plain detailed);
+    t "per-layer budgets sum to the scenario's cycles" (fun () ->
+        let detailed = Cycles.measure_detailed () in
+        List.iter
+          (fun (d : Cycles.detailed_row) ->
+            List.iter2
+              (fun (id, cycles) (id', b) ->
+                check_int "ids aligned" id id';
+                check_int
+                  (Printf.sprintf "%s scenario %d"
+                     (Interpolator.impl_name d.Cycles.row.Cycles.impl)
+                     id)
+                  cycles
+                  (Cycles.breakdown_total b))
+              d.Cycles.row.Cycles.per_scenario d.Cycles.breakdowns)
+          detailed);
+    t "Splice-PLB scenario 1 budget matches measure's total" (fun () ->
+        let plain = Cycles.measure () in
+        let detailed = Cycles.measure_detailed () in
+        let total =
+          let r =
+            List.find
+              (fun (r : Cycles.row) -> r.Cycles.impl = Interpolator.Splice_plb_simple)
+              plain
+          in
+          List.assoc 1 r.Cycles.per_scenario
+        in
+        let d =
+          List.find
+            (fun (d : Cycles.detailed_row) ->
+              d.Cycles.row.Cycles.impl = Interpolator.Splice_plb_simple)
+            detailed
+        in
+        let b = List.assoc 1 d.Cycles.breakdowns in
+        check_int "budget sums to Fig 9.2's cell" total
+          (Cycles.breakdown_total b);
+        check_bool "stats report carries the budget counters" true
+          (let report = Cycles.stats_report detailed in
+           let contains needle = Astring_contains.contains report needle in
+           contains "breakdown/calc" && contains "breakdown/bus"
+           && contains "breakdown/driver" && contains "breakdown/idle"));
+    t "traced measurement exports a valid Chrome trace" (fun () ->
+        let detailed = Cycles.measure_detailed ~tracing:true () in
+        let events =
+          match Json.to_list (Json.of_string_exn (Cycles.chrome_trace_string detailed)) with
+          | Some l -> l
+          | None -> Alcotest.fail "not a JSON array"
+        in
+        check_bool "has events" true (List.length events > 0);
+        List.iter
+          (fun e ->
+            (match Option.bind (Json.member "ph" e) Json.to_str with
+            | Some ("X" | "B" | "E" | "i") -> ()
+            | _ -> Alcotest.fail "bad ph");
+            check_bool "integer ts" true
+              (Option.bind (Json.member "ts" e) Json.to_int <> None))
+          events);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* VCD identifier allocation                                           *)
+(* ------------------------------------------------------------------ *)
+
+let vcd_tests =
+  [
+    t "200-signal VCD header declares 200 distinct ids" (fun () ->
+        let signals =
+          List.init 200 (fun i -> Signal.create ~name:(Printf.sprintf "s%d" i) 1)
+        in
+        let path = Filename.temp_file "splice" ".vcd" in
+        let v = Vcd.create ~path ~module_name:"m" signals in
+        Vcd.close v;
+        let ic = open_in path in
+        let header = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        Sys.remove path;
+        (* $var wire <width> <id> <name> $end *)
+        let ids = ref [] in
+        String.split_on_char '\n' header
+        |> List.iter (fun line ->
+               match String.split_on_char ' ' (String.trim line) with
+               | "$var" :: "wire" :: _w :: id :: _name :: _ -> ids := id :: !ids
+               | _ -> ());
+        check_int "200 declarations" 200 (List.length !ids);
+        check_int "all ids distinct" 200
+          (List.length (List.sort_uniq compare !ids));
+        List.iter
+          (fun id ->
+            String.iter
+              (fun ch ->
+                check_bool "printable ASCII id" true (ch >= '!' && ch <= '~'))
+              id)
+          !ids);
+  ]
+
+let tests =
+  [
+    ("obs.metrics", metrics_tests);
+    ("obs.tracer", tracer_tests);
+    ("obs.json", json_tests);
+    ("obs.kernel", kernel_tests);
+    ("obs.sis", sis_tests);
+    ("obs.breakdown", breakdown_tests);
+    ("obs.vcd", vcd_tests);
+  ]

@@ -222,14 +222,15 @@ let arbiter_tests =
     t "duplicate ids rejected" (fun () ->
         let sis = Sis_if.create ~bus_width:32 ~func_id_width:2 ~instances:2 () in
         let p () = Stub_model.create_ports ~bus_width:32 () in
-        match Arbiter_model.make ~sis ~stubs:[ (1, p ()); (1, p ()) ] with
+        match Arbiter_model.make ~stubs:[ (1, p ()); (1, p ()) ] sis with
         | _ -> Alcotest.fail "expected rejection"
         | exception Invalid_argument _ -> ());
     t "id 0 rejected for stubs (reserved for status)" (fun () ->
         let sis = Sis_if.create ~bus_width:32 ~func_id_width:2 ~instances:1 () in
         match
-          Arbiter_model.make ~sis
+          Arbiter_model.make
             ~stubs:[ (0, Stub_model.create_ports ~bus_width:32 ()) ]
+            sis
         with
         | _ -> Alcotest.fail "expected rejection"
         | exception Invalid_argument _ -> ());

@@ -7,4 +7,4 @@ let () =
    @ Test_driver.tests @ Test_codegen.tests @ Test_resources.tests
    @ Test_devices.tests @ Test_fir.tests @ Test_waves.tests @ Test_eval.tests
    @ Test_byref.tests @ Test_structs.tests @ Test_specs_dir.tests @ Test_lint.tests @ Test_clint.tests @ Test_engine.tests @ Test_gcc.tests @ Test_edge.tests
-   @ Test_properties.tests)
+   @ Test_obs.tests @ Test_properties.tests)

@@ -1,0 +1,103 @@
+(* ------------------------------------------------------------------ *)
+(* Plain-text stats report                                             *)
+(* ------------------------------------------------------------------ *)
+
+let stats_report ?label m =
+  let buf = Buffer.create 1024 in
+  (match label with
+  | Some l -> Buffer.add_string buf (Printf.sprintf "== metrics: %s ==\n" l)
+  | None -> Buffer.add_string buf "== metrics ==\n");
+  let counters = Metrics.counters m in
+  if counters <> [] then begin
+    Buffer.add_string buf "counters:\n";
+    List.iter
+      (fun c ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %-40s %10d\n" (Metrics.counter_name c)
+             (Metrics.count c)))
+      counters
+  end;
+  let gauges = Metrics.gauges m in
+  if gauges <> [] then begin
+    Buffer.add_string buf "gauges:\n";
+    List.iter
+      (fun g ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %-40s %10d\n" (Metrics.gauge_name g)
+             (Metrics.level g)))
+      gauges
+  end;
+  let histograms = Metrics.histograms m in
+  if histograms <> [] then begin
+    Buffer.add_string buf "histograms:\n";
+    List.iter
+      (fun h ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %-40s n=%d sum=%d min=%d max=%d mean=%.2f\n"
+             (Metrics.histogram_name h) (Metrics.observations h)
+             (Metrics.total h) (Metrics.min_value h) (Metrics.max_value h)
+             (Metrics.mean h));
+        List.iter
+          (fun (limit, count) ->
+            if count > 0 then
+              let label =
+                match limit with
+                | Some l -> Printf.sprintf "<=%d" l
+                | None -> "overflow"
+              in
+              Buffer.add_string buf (Printf.sprintf "    %-10s %10d\n" label count))
+          (Metrics.bucket_counts h))
+      histograms
+  end;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event JSON                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* One trace process per (label, tracer) pair, one thread per track, every
+   event a complete ("X") span with [ts]/[dur] in bus-clock cycles. The
+   JSON-array form loads directly in chrome://tracing and ui.perfetto.dev. *)
+let chrome_trace procs =
+  let events =
+    List.concat
+      (List.mapi
+         (fun pid (label, tracer) ->
+           let tracks = Tracer.tracks tracer in
+           let tid_of track =
+             let rec go i = function
+               | [] -> 0
+               | t :: _ when t = track -> i
+               | _ :: rest -> go (i + 1) rest
+             in
+             go 0 tracks
+           in
+           List.map
+             (fun ev ->
+               let track, name, ts, dur =
+                 match ev with
+                 | Tracer.Complete { track; name; ts; dur } ->
+                     (track, name, ts, dur)
+                 | Tracer.Instant { track; name; ts } -> (track, name, ts, 0)
+               in
+               Json.Obj
+                 [
+                   ("name", Json.String name);
+                   ("cat", Json.String (label ^ "/" ^ track));
+                   ("ph", Json.String "X");
+                   ("ts", Json.Int ts);
+                   ("dur", Json.Int dur);
+                   ("pid", Json.Int pid);
+                   ("tid", Json.Int (tid_of track));
+                 ])
+             (Tracer.events tracer))
+         procs)
+  in
+  Json.List events
+
+let chrome_trace_string procs = Json.to_string (chrome_trace procs)
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc

@@ -1,0 +1,16 @@
+(** Exporters for the observability layer.
+
+    - {!stats_report}: human-readable dump of one metrics registry —
+      counters, gauges, then histograms (empty buckets omitted).
+    - {!chrome_trace}: Chrome trace-event JSON (the array form): one
+      process per [(label, tracer)] pair, one thread per tracer track, and
+      every span a complete ["X"] event whose [ts]/[dur] are bus-clock
+      cycles. Open the file at [chrome://tracing] or [ui.perfetto.dev]. *)
+
+val stats_report : ?label:string -> Metrics.t -> string
+
+val chrome_trace : (string * Tracer.t) list -> Json.t
+val chrome_trace_string : (string * Tracer.t) list -> string
+
+val write_file : string -> string -> unit
+(** [write_file path contents] — tiny helper shared by the CLI flags. *)

@@ -10,6 +10,14 @@
 open Splice_sim
 
 val make :
-  sis:Sis_if.t -> stubs:(int * Stub_model.ports) list -> Component.t
+  ?obs:Splice_obs.Obs.t ->
+  stubs:(int * Stub_model.ports) list ->
+  Sis_if.t ->
+  Component.t
 (** [stubs] maps each assigned function id (≥ 1) to that instance's ports.
-    Raises [Invalid_argument] on duplicate or non-positive ids. *)
+    Raises [Invalid_argument] on duplicate or non-positive ids.
+
+    [obs] (default [Obs.none]) receives [arbiter/grants] (total word grants
+    — IO_DONE-high cycles), [arbiter/grants/<id>] per function id, and an
+    [arbiter/wait_cycles] histogram of request-strobe→first-grant
+    latencies. *)
