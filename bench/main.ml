@@ -63,6 +63,33 @@ let bench_fig_9_3 =
            (fun i -> ignore (Splice.Interpolator.resource_usage i))
            Splice.Interpolator.all_impls))
 
+(* Scheduler ablation (E14): the same simulated driver call on the legacy
+   sweep kernel vs the event-driven kernel — the wall-clock side of the
+   comb-eval counts the part-1 E14 table reports. *)
+let bench_cycles_sweep_kernel =
+  let host =
+    lazy
+      (Splice.Interpolator.make_host ~sched:`Sweep
+         Splice.Interpolator.Splice_plb_simple)
+  in
+  Test.make ~name:"driver call, sweep scheduler (legacy)"
+    (Staged.stage (fun () ->
+         ignore
+           (Splice.Interpolator.run (Lazy.force host)
+              (Splice.Interp_scenarios.by_id 1))))
+
+let bench_cycles_event_kernel =
+  let host =
+    lazy
+      (Splice.Interpolator.make_host ~sched:`Event
+         Splice.Interpolator.Splice_plb_simple)
+  in
+  Test.make ~name:"driver call, event scheduler (default)"
+    (Staged.stage (fun () ->
+         ignore
+           (Splice.Interpolator.run (Lazy.force host)
+              (Splice.Interp_scenarios.by_id 1))))
+
 (* Observability overhead (E10): the same simulated driver call with the
    metrics registry wired to every layer vs opted out via Obs.none. The
    always-on design is only tenable if this delta stays small (<5%). *)
@@ -104,6 +131,8 @@ let benchmarks =
     bench_fig_9_1;
     bench_fig_9_2_one_run;
     bench_fig_9_3;
+    bench_cycles_sweep_kernel;
+    bench_cycles_event_kernel;
     bench_cycles_uninstrumented;
     bench_cycles_instrumented;
   ]
@@ -135,9 +164,14 @@ let run_bechamel () =
     benchmarks
 
 let () =
+  (* --quick: part-1 tables only, as a CI smoke for table-generation
+     regressions (the Bechamel timings are meaningless on shared runners) *)
+  let quick = Array.exists (String.equal "--quick") Sys.argv in
   part1 ();
-  run_bechamel ();
-  print_newline ();
-  print_endline
-    "All figures above correspond to the per-experiment index in DESIGN.md;";
-  print_endline "paper-vs-measured comparisons are recorded in EXPERIMENTS.md."
+  if not quick then begin
+    run_bechamel ();
+    print_newline ();
+    print_endline
+      "All figures above correspond to the per-experiment index in DESIGN.md;";
+    print_endline "paper-vs-measured comparisons are recorded in EXPERIMENTS.md."
+  end

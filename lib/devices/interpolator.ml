@@ -103,24 +103,24 @@ let behavior name =
 (* Hosts                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let make_host ?obs impl =
+let make_host ?obs ?sched impl =
   let spec = spec_for impl in
   match impl with
   | Simple_plb_handcoded ->
-      Host.create ?obs spec ~behaviors:behavior
+      Host.create ?obs ?sched spec ~behaviors:behavior
         ~bus:(module Handcoded.Naive_plb)
         ~issue_overhead:Handcoded.naive_plb_issue_overhead
   | Optimized_fcb_handcoded ->
-      Host.create ?obs spec ~behaviors:behavior
+      Host.create ?obs ?sched spec ~behaviors:behavior
         ~bus:(module Handcoded.Optimized_fcb)
         ~issue_overhead:Handcoded.optimized_fcb_issue_overhead
         ~lean_driver:true
   | Splice_fcb ->
       (* FCB opcodes are blocking APU instructions: each macro stalls the
          CPU across the 300/100 MHz boundary (§2.3.2) *)
-      Host.create ?obs spec ~behaviors:behavior ~issue_overhead:5
+      Host.create ?obs ?sched spec ~behaviors:behavior ~issue_overhead:5
   | Splice_plb_simple | Splice_plb_dma ->
-      Host.create ?obs spec ~behaviors:behavior
+      Host.create ?obs ?sched spec ~behaviors:behavior
 
 let make_host_on_bus bus =
   let burst =

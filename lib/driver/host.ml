@@ -14,7 +14,7 @@ type t = {
 }
 
 let create ?(monitor = true) ?issue_overhead ?(lean_driver = false) ?bus ?obs
-    (spec : Spec.t) ~behaviors =
+    ?sched (spec : Spec.t) ~behaviors =
   let (module B : Bus.S) =
     match bus with
     | Some b -> b
@@ -23,7 +23,7 @@ let create ?(monitor = true) ?issue_overhead ?(lean_driver = false) ?bus ?obs
         | Some b -> b
         | None -> failwith (Printf.sprintf "Host.create: unknown bus %S" spec.bus_name))
   in
-  let kernel = Kernel.create ?obs () in
+  let kernel = Kernel.create ?sched ?obs () in
   let peripheral = Peripheral.build ~monitor kernel spec ~behaviors in
   let port = B.connect kernel spec (Peripheral.sis peripheral) in
   let wait_mode =

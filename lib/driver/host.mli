@@ -17,6 +17,7 @@ val create :
   ?lean_driver:bool ->
   ?bus:(module Splice_buses.Bus.S) ->
   ?obs:Splice_obs.Obs.t ->
+  ?sched:Kernel.sched ->
   Spec.t ->
   behaviors:(string -> Stub_model.behavior) ->
   t
@@ -25,7 +26,9 @@ val create :
     driver code (see {!Program.of_plan}). [obs] becomes the kernel's
     observability context (default: a fresh enabled context with tracing
     off); every layer — kernel, bus adapter, arbiter, SIS monitor, CPU —
-    is wired to it. *)
+    is wired to it. [sched] selects the kernel's comb scheduler (default
+    event-driven; [`Sweep] is the legacy oracle the E14 ablation compares
+    against). *)
 
 val call :
   ?instance:int ->

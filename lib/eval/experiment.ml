@@ -177,6 +177,87 @@ end
 
 (* ------------------------------------------------------------------ *)
 
+module Scheduler = struct
+  type point = {
+    label : string;
+    cycles_sweep : int;
+    cycles_event : int;
+    evals_sweep : int;
+    evals_event : int;
+  }
+
+  let saving p =
+    100.0 *. (1.0 -. float_of_int p.evals_event /. float_of_int (max 1 p.evals_sweep))
+
+  let agree p = p.cycles_sweep = p.cycles_event
+
+  let point_of ~label measure =
+    let cycles_sweep, evals_sweep = measure `Sweep in
+    let cycles_event, evals_event = measure `Event in
+    { label; cycles_sweep; cycles_event; evals_sweep; evals_event }
+
+  let kernel_totals host cycles =
+    let s = Splice_sim.Kernel.stats (Host.kernel host) in
+    (cycles, s.Splice_sim.Kernel.comb_evals)
+
+  (* the Fig 9.2 workload: all four scenarios through one implementation *)
+  let interp_point impl =
+    point_of
+      ~label:(Splice_devices.Interpolator.impl_name impl)
+      (fun sched ->
+        let host = Splice_devices.Interpolator.make_host ~sched impl in
+        let cycles =
+          List.fold_left
+            (fun acc s -> acc + snd (Splice_devices.Interpolator.run host s))
+            0 Splice_devices.Interp_scenarios.all
+        in
+        kernel_totals host cycles)
+
+  (* the E8 workload: the 8-word call with k functions behind the arbiter,
+     where the sweep kernel's cost grows with k but the call does not *)
+  let arbitration_point k =
+    point_of
+      ~label:(Printf.sprintf "E8 arbitration, %d function(s)" k)
+      (fun sched ->
+        let spec = validate (Arbitration.spec_src k) in
+        let host = Host.create ~sched spec ~behaviors:Arbitration.behaviors in
+        kernel_totals host (run_call host ~n:8 ~elems:(elems_of 8)))
+
+  let run ?(max_functions = 8) () =
+    List.map interp_point Splice_devices.Interpolator.all_impls
+    @ List.map arbitration_point (List.init max_functions (fun i -> i + 1))
+
+  let table points =
+    let buf = Buffer.create 512 in
+    Buffer.add_string buf
+      "Scheduler ablation (E14): sweep-until-quiescent vs event-driven \
+       delta scheduling\n";
+    Buffer.add_string buf
+      "(identical cycle counts required; comb evaluations are the work \
+       saved)\n";
+    Buffer.add_string buf
+      (Printf.sprintf "%-28s %10s %10s %7s %12s %12s %8s\n" "workload"
+         "cyc(sweep)" "cyc(event)" "match" "evals(sweep)" "evals(event)"
+         "saving");
+    List.iter
+      (fun p ->
+        Buffer.add_string buf
+          (Printf.sprintf "%-28s %10d %10d %7s %12d %12d %7.0f%%\n" p.label
+             p.cycles_sweep p.cycles_event
+             (if agree p then "yes" else "NO!")
+             p.evals_sweep p.evals_event (saving p)))
+      points;
+    (if List.for_all agree points then
+       Buffer.add_string buf
+         "every workload cycles identically under both schedulers\n"
+     else
+       Buffer.add_string buf
+         "CYCLE MISMATCH: a sensitivity list is missing a signal\n");
+    Buffer.contents buf
+end
+
+(* ------------------------------------------------------------------ *)
+
 module Interrupts = struct
   type point = {
     calc_cycles : int;

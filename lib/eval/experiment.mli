@@ -40,6 +40,42 @@ module Arbitration : sig
   val table : point list -> string
 end
 
+(** E14 — comb scheduling (the simulator itself): the same workloads run on
+    the legacy sweep-until-quiescent kernel and the event-driven dirty-set
+    kernel. Cycle counts must be identical — the scheduler is an
+    implementation detail of the simulator, not of the modelled hardware —
+    while the number of comb-callback evaluations drops, and the drop grows
+    with the number of functions sharing the arbiter (the sweep re-evaluates
+    every stub on every delta pass; the event kernel only the selected
+    one). *)
+module Scheduler : sig
+  type point = {
+    label : string;
+    cycles_sweep : int;
+    cycles_event : int;
+    evals_sweep : int;
+    evals_event : int;
+  }
+
+  val agree : point -> bool
+  (** Both schedulers produced the same cycle count. *)
+
+  val saving : point -> float
+  (** Percentage of comb evaluations the event scheduler avoided. *)
+
+  val interp_point : Splice_devices.Interpolator.impl -> point
+  (** The Fig 9.2 workload (all scenarios) on one implementation. *)
+
+  val arbitration_point : int -> point
+  (** The E8 workload with [k] functions behind the arbiter. *)
+
+  val run : ?max_functions:int -> unit -> point list
+  (** Every Fig 9.2 implementation plus the E8 sweep up to
+      [max_functions]. *)
+
+  val table : point list -> string
+end
+
 (** E11 — interrupt vs. polling synchronisation (§10.2): an APB call whose
     calculation takes [calc] cycles, synchronised by CALC_DONE polling vs the
     completion interrupt. Polling costs one status-read transaction per poll;

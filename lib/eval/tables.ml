@@ -114,6 +114,8 @@ let everything () =
     (Experiment.Dma_crossover.table (Experiment.Dma_crossover.run ()));
   section "Arbitration ablation (E8)";
   Buffer.add_string buf (Experiment.Arbitration.table (Experiment.Arbitration.run ()));
+  section "Scheduler ablation (E14)";
+  Buffer.add_string buf (Experiment.Scheduler.table (Experiment.Scheduler.run ()));
   section "Burst ablation (E9)";
   Buffer.add_string buf (Experiment.Burst.table (Experiment.Burst.run ()));
   section "Interrupt ablation (E11)";

@@ -1,4 +1,39 @@
-type t = { name : string; comb : unit -> unit; seq : unit -> unit }
+type sensitivity =
+  | Always
+  | Reads of { signals : Signal.t list; edge : bool }
+
+type t = {
+  name : string;
+  comb : unit -> unit;
+  seq : unit -> unit;
+  sensitivity : sensitivity;
+  has_comb : bool;
+  mutable dirty : bool;
+  mutable registered : bool;
+}
 
 let nop () = ()
-let make ?(comb = nop) ?(seq = nop) name = { name; comb; seq }
+
+let make ?reads ?state ?comb ?seq name =
+  let sensitivity =
+    match (comb, reads) with
+    | None, _ -> Reads { signals = []; edge = false }
+    | Some _, None -> Always
+    | Some _, Some signals ->
+        let edge =
+          match state with Some b -> b | None -> Option.is_some seq
+        in
+        Reads { signals; edge }
+  in
+  {
+    name;
+    comb = (match comb with Some f -> f | None -> nop);
+    seq = (match seq with Some f -> f | None -> nop);
+    sensitivity;
+    has_comb = Option.is_some comb;
+    dirty = false;
+    registered = false;
+  }
+
+let name t = t.name
+let sensitivity t = t.sensitivity

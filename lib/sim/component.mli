@@ -1,11 +1,57 @@
-(** A simulation component: a named pair of callbacks.
+(** A simulation component: a named pair of callbacks plus a sensitivity
+    declaration.
 
     [comb] computes combinational outputs from current signal values (run to
-    fixpoint by the kernel before each clock edge); [seq] models the clocked
-    process body (runs once per edge; registered updates must go through
-    [Signal.set_next]). *)
+    a fixpoint by the kernel before each clock edge); [seq] models the
+    clocked process body (runs once per edge; registered updates must go
+    through [Signal.set_next]).
 
-type t = { name : string; comb : unit -> unit; seq : unit -> unit }
+    {1 Sensitivity}
 
-val make : ?comb:(unit -> unit) -> ?seq:(unit -> unit) -> string -> t
-(** Missing callbacks default to no-ops. *)
+    [reads] declares the complete set of signals the [comb] callback reads.
+    The event-driven kernel only re-evaluates a component when one of its
+    declared reads changed — so the declaration is a contract: [comb] must be
+    a deterministic function of exactly those signals (plus, when [state] is
+    true, internal state that only the component's own [seq] mutates). A
+    component constructed with a [comb] but no [reads] falls back to the
+    legacy always-dirty behaviour: it is re-evaluated on every delta pass,
+    exactly as the sweep scheduler would, which is always safe and lets
+    call sites migrate incrementally.
+
+    [state] marks the combinational output as also depending on clocked
+    internal state, so the kernel re-arms the component after every clock
+    edge in addition to its signal sensitivities. It defaults to [true]
+    whenever a [seq] callback is supplied; pass [~state:false] for
+    components whose [seq] only does bookkeeping that [comb] never reads
+    (e.g. metrics). *)
+
+type sensitivity =
+  | Always  (** legacy fallback: evaluate on every delta pass *)
+  | Reads of { signals : Signal.t list; edge : bool }
+      (** [signals]: comb re-runs when any of them changes; [edge]: comb
+          additionally re-runs after every clock edge (state-dependent). *)
+
+type t = {
+  name : string;
+  comb : unit -> unit;
+  seq : unit -> unit;
+  sensitivity : sensitivity;
+  has_comb : bool;  (** false when no [comb] was supplied (callback is a nop) *)
+  mutable dirty : bool;  (** kernel-owned: queued for (re-)evaluation *)
+  mutable registered : bool;  (** kernel-owned: fan-out listeners attached *)
+}
+
+val make :
+  ?reads:Signal.t list ->
+  ?state:bool ->
+  ?comb:(unit -> unit) ->
+  ?seq:(unit -> unit) ->
+  string ->
+  t
+(** Missing callbacks default to no-ops. A component without [comb] is never
+    scheduled for combinational evaluation; one with [comb] but no [reads]
+    is treated as {!Always} dirty. [state] defaults to [true] iff [seq] is
+    given (see the sensitivity contract above). *)
+
+val name : t -> string
+val sensitivity : t -> sensitivity

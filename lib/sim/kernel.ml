@@ -1,7 +1,10 @@
 open Splice_obs
 
+type sched = [ `Event | `Sweep ]
+
 type t = {
   max_comb_iters : int;
+  sched : sched;
   obs : Obs.t;
   mutable components : Component.t list; (* reversed *)
   mutable checks : (string * (int -> unit)) list; (* reversed *)
@@ -9,23 +12,42 @@ type t = {
   mutable settle_hooks : (int -> unit) list; (* reversed *)
   mutable cycle_count : int;
   mutable comb_iters_total : int;
+  mutable comb_evals_total : int;
   mutable checks_run_total : int;
+  (* forward-order caches, rebuilt lazily whenever a registration list
+     changes (sealing); cycle/settle never traverse the reversed lists *)
+  mutable sealed : bool;
+  mutable comps_fwd : Component.t array;
+  mutable checks_fwd : (string * (int -> unit)) array;
+  mutable hooks_fwd : (int -> unit) array;
+  mutable settle_hooks_fwd : (int -> unit) array;
+  mutable edge_comps : Component.t array;
+      (* state-sensitive components, re-marked dirty at every settle *)
+  mutable has_always : bool;
+  mutable n_dirty : int;
   comb_hist : Metrics.histogram;
   cycles_counter : Metrics.counter;
   checks_counter : Metrics.counter;
+  evals_counter : Metrics.counter;
 }
 
-type stats = { cycles : int; comb_iters : int; checks_run : int }
+type stats = {
+  cycles : int;
+  comb_iters : int;
+  comb_evals : int;
+  checks_run : int;
+}
 
 exception Comb_divergence of { cycle : int; iterations : int }
 exception Timeout of { cycle : int; elapsed : int; waiting_for : string }
 exception Check_failed of { cycle : int; check : string; message : string }
 
-let create ?(max_comb_iters = 64) ?obs () =
+let create ?(max_comb_iters = 64) ?(sched = `Event) ?obs () =
   let obs = match obs with Some o -> o | None -> Obs.create () in
   let m = Obs.metrics obs in
   {
     max_comb_iters;
+    sched;
     obs;
     components = [];
     checks = [];
@@ -33,50 +55,147 @@ let create ?(max_comb_iters = 64) ?obs () =
     settle_hooks = [];
     cycle_count = 0;
     comb_iters_total = 0;
+    comb_evals_total = 0;
     checks_run_total = 0;
+    sealed = false;
+    comps_fwd = [||];
+    checks_fwd = [||];
+    hooks_fwd = [||];
+    settle_hooks_fwd = [||];
+    edge_comps = [||];
+    has_always = false;
+    n_dirty = 0;
     comb_hist =
       Metrics.histogram ~limits:[| 1; 2; 3; 4; 6; 8; 16; 32; 64 |] m
         "sim/comb_iters";
     cycles_counter = Metrics.counter m "sim/cycles";
     checks_counter = Metrics.counter m "sim/checks_run";
+    evals_counter = Metrics.counter m "sim/comb_evals";
   }
 
-let add t c = t.components <- c :: t.components
-let add_check t name f = t.checks <- (name, f) :: t.checks
+let add t c =
+  t.components <- c :: t.components;
+  t.sealed <- false
+
+let add_check t name f =
+  t.checks <- (name, f) :: t.checks;
+  t.sealed <- false
+
 let check_fail ~cycle ~check message = raise (Check_failed { cycle; check; message })
-let on_cycle_end t f = t.hooks <- f :: t.hooks
-let on_settle t f = t.settle_hooks <- f :: t.settle_hooks
+
+let on_cycle_end t f =
+  t.hooks <- f :: t.hooks;
+  t.sealed <- false
+
+let on_settle t f =
+  t.settle_hooks <- f :: t.settle_hooks;
+  t.sealed <- false
+
+let mark_dirty t (c : Component.t) =
+  if not c.Component.dirty then begin
+    c.Component.dirty <- true;
+    t.n_dirty <- t.n_dirty + 1
+  end
+
+let seal t =
+  t.comps_fwd <- Array.of_list (List.rev t.components);
+  t.checks_fwd <- Array.of_list (List.rev t.checks);
+  t.hooks_fwd <- Array.of_list (List.rev t.hooks);
+  t.settle_hooks_fwd <- Array.of_list (List.rev t.settle_hooks);
+  t.has_always <- false;
+  let edge = ref [] in
+  Array.iter
+    (fun (c : Component.t) ->
+      match c.Component.sensitivity with
+      | Component.Always -> t.has_always <- true
+      | Component.Reads { signals; edge = e } ->
+          if e && c.Component.has_comb then edge := c :: !edge;
+          if t.sched = `Event && not c.Component.registered then begin
+            c.Component.registered <- true;
+            List.iter
+              (fun s -> Signal.on_change s (fun () -> mark_dirty t c))
+              signals;
+            (* newly registered components evaluate once to establish their
+               outputs, exactly like the sweep's first pass would *)
+            if c.Component.has_comb then mark_dirty t c
+          end)
+    t.comps_fwd;
+  t.edge_comps <- Array.of_list (List.rev !edge);
+  t.sealed <- true
 
 let settle t =
-  let comps = List.rev t.components in
-  let rec go i =
-    if i >= t.max_comb_iters then
-      raise (Comb_divergence { cycle = t.cycle_count; iterations = i });
-    let before = Signal.change_count () in
-    List.iter (fun (c : Component.t) -> c.comb ()) comps;
-    if Signal.change_count () <> before then go (i + 1) else i + 1
+  if not t.sealed then seal t;
+  let comps = t.comps_fwd in
+  let evals = ref 0 in
+  let iters =
+    match t.sched with
+    | `Sweep ->
+        (* legacy scheduler: re-evaluate every component on every delta pass
+           until a pass leaves the global change counter untouched *)
+        let rec go i =
+          if i >= t.max_comb_iters then
+            raise (Comb_divergence { cycle = t.cycle_count; iterations = i });
+          let before = Signal.change_count () in
+          Array.iter (fun (c : Component.t) -> c.Component.comb ()) comps;
+          if Signal.change_count () <> before then go (i + 1) else i + 1
+        in
+        let iters = go 0 in
+        evals := iters * Array.length comps;
+        iters
+    | `Event ->
+        (* event-driven scheduler: a delta pass only evaluates dirty
+           components (in registration order, so in-pass propagation matches
+           the sweep); evaluations mark their fan-out dirty for this pass
+           (later components) or the next one (earlier components) *)
+        Array.iter (fun c -> mark_dirty t c) t.edge_comps;
+        let rec go i =
+          if t.n_dirty = 0 && not t.has_always then i
+          else if i >= t.max_comb_iters then
+            raise (Comb_divergence { cycle = t.cycle_count; iterations = i })
+          else begin
+            let before = Signal.change_count () in
+            Array.iter
+              (fun (c : Component.t) ->
+                match c.Component.sensitivity with
+                | Component.Always ->
+                    c.Component.comb ();
+                    incr evals
+                | Component.Reads _ ->
+                    if c.Component.dirty then begin
+                      c.Component.dirty <- false;
+                      t.n_dirty <- t.n_dirty - 1;
+                      c.Component.comb ();
+                      incr evals
+                    end)
+              comps;
+            if Signal.change_count () <> before || t.n_dirty > 0 then go (i + 1)
+            else i + 1
+          end
+        in
+        go 0
   in
-  let iters = go 0 in
   t.comb_iters_total <- t.comb_iters_total + iters;
-  if Obs.active t.obs then Metrics.observe t.comb_hist iters
+  t.comb_evals_total <- t.comb_evals_total + !evals;
+  if Obs.active t.obs then begin
+    Metrics.observe t.comb_hist iters;
+    Metrics.add t.evals_counter !evals
+  end
 
 let cycle t =
   Obs.set_now t.obs t.cycle_count;
   settle t;
-  let checks = List.rev t.checks in
-  List.iter (fun (_, f) -> f t.cycle_count) checks;
-  (match checks with
-  | [] -> ()
-  | _ ->
-      let n = List.length checks in
+  Array.iter (fun (_, f) -> f t.cycle_count) t.checks_fwd;
+  (match Array.length t.checks_fwd with
+  | 0 -> ()
+  | n ->
       t.checks_run_total <- t.checks_run_total + n;
       if Obs.active t.obs then Metrics.add t.checks_counter n);
-  List.iter (fun f -> f t.cycle_count) (List.rev t.settle_hooks);
-  List.iter (fun (c : Component.t) -> c.seq ()) (List.rev t.components);
+  Array.iter (fun f -> f t.cycle_count) t.settle_hooks_fwd;
+  Array.iter (fun (c : Component.t) -> c.Component.seq ()) t.comps_fwd;
   Signal.commit_pending ();
   t.cycle_count <- t.cycle_count + 1;
   if Obs.active t.obs then Metrics.incr t.cycles_counter;
-  List.iter (fun f -> f t.cycle_count) (List.rev t.hooks)
+  Array.iter (fun f -> f t.cycle_count) t.hooks_fwd
 
 let run t n =
   for _ = 1 to n do
@@ -104,10 +223,12 @@ let run_until ?(max = 100_000) ?(what = "condition") t p =
 
 let cycles t = t.cycle_count
 let obs t = t.obs
+let sched t = t.sched
 
 let stats t =
   {
     cycles = t.cycle_count;
     comb_iters = t.comb_iters_total;
+    comb_evals = t.comb_evals_total;
     checks_run = t.checks_run_total;
   }

@@ -1,23 +1,50 @@
-(** Two-phase synchronous simulation kernel.
+(** Two-phase synchronous simulation kernel with event-driven delta-cycle
+    scheduling.
 
     Each {!cycle}:
-    + run every component's [comb] callback repeatedly, in registration order,
-      until no signal changes (fixpoint) — raising {!Comb_divergence} after
-      [max_comb_iters] passes;
+    + settle the combinational logic: run component [comb] callbacks, in
+      registration order, until no signal changes (fixpoint) — raising
+      {!Comb_divergence} after [max_comb_iters] delta passes;
     + run every check registered with {!add_check} (protocol monitors);
     + run every component's [seq] callback (all observe settled pre-edge
       values) and commit their deferred writes simultaneously;
     + fire end-of-cycle hooks (tracing).
 
+    {1 Scheduling}
+
+    Under the default [`Event] scheduler the kernel keeps a dirty set: a
+    delta pass only re-evaluates components whose declared sensitivities
+    (see {!Component.make}) changed — via a signal fan-out listener, a clock
+    edge (state-sensitive components), or the legacy always-dirty fallback.
+    The [`Sweep] scheduler is the original behaviour — every component on
+    every pass — kept for the E14 ablation and as a migration oracle: both
+    schedulers produce identical settled values, cycle counts, and traces
+    for components whose sensitivity declarations are accurate.
+
+    The first cycle (or any cycle after a registration) {e seals} the
+    kernel: registration lists are snapshotted into forward-order arrays and
+    fan-out listeners are attached, so the per-cycle hot path never
+    re-reverses or re-counts lists.
+
     Every kernel owns a {!Splice_obs.Obs.t} observability context (cycle
-    histogram of comb-fixpoint passes, cycle/check counters); instrumented
+    histogram of delta passes, cycle/check/eval counters); instrumented
     components reach it through {!obs}. *)
 
 type t
 
-type stats = { cycles : int; comb_iters : int; checks_run : int }
-(** Aggregate kernel counters: cycles simulated, total comb-fixpoint passes
-    across all cycles, total protocol-check executions. *)
+type sched = [ `Event | `Sweep ]
+(** [`Event]: dirty-set scheduling driven by sensitivity lists (default).
+    [`Sweep]: legacy re-evaluate-everything fixpoint loop. *)
+
+type stats = {
+  cycles : int;
+  comb_iters : int;
+  comb_evals : int;
+  checks_run : int;
+}
+(** Aggregate kernel counters: cycles simulated, total delta passes across
+    all cycles, total comb-callback invocations (the work the event
+    scheduler saves), total protocol-check executions. *)
 
 exception Comb_divergence of { cycle : int; iterations : int }
 
@@ -28,12 +55,14 @@ exception Timeout of { cycle : int; elapsed : int; waiting_for : string }
 
 exception Check_failed of { cycle : int; check : string; message : string }
 
-val create : ?max_comb_iters:int -> ?obs:Splice_obs.Obs.t -> unit -> t
-(** [max_comb_iters] defaults to 64. [obs] defaults to a fresh enabled
-    context (pass [Splice_obs.Obs.none] to opt out of instrumentation). *)
+val create :
+  ?max_comb_iters:int -> ?sched:sched -> ?obs:Splice_obs.Obs.t -> unit -> t
+(** [max_comb_iters] defaults to 64. [sched] defaults to [`Event]. [obs]
+    defaults to a fresh enabled context (pass [Splice_obs.Obs.none] to opt
+    out of instrumentation). *)
 
 val add : t -> Component.t -> unit
-(** Evaluation order is registration order (within each fixpoint pass). *)
+(** Evaluation order is registration order (within each delta pass). *)
 
 val add_check : t -> string -> (int -> unit) -> unit
 (** [add_check k name f]: [f cycle] runs after the comb fixpoint each cycle;
@@ -68,6 +97,9 @@ val cycles : t -> int
 val obs : t -> Splice_obs.Obs.t
 (** The kernel's observability context. Components read span timestamps
     from [Obs.now], which the kernel sets at the start of every cycle. *)
+
+val sched : t -> sched
+(** The scheduler this kernel was created with. *)
 
 val stats : t -> stats
 (** Kernel-level counters, available without any exporter. *)

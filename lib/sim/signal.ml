@@ -1,6 +1,16 @@
 open Splice_bits
 
-type t = { name : string; width : int; mutable value : Bits.t }
+type t = {
+  name : string;
+  width : int;
+  mutable value : Bits.t;
+  mutable listeners : (unit -> unit) list;
+      (* fan-out: fired (in registration order is irrelevant — they only mark
+         components dirty) whenever the value actually changes *)
+  mutable commit_stamp : int;
+      (* generation stamp of the last [commit_pending] epoch that wrote this
+         signal; gives O(1) last-write-wins during the commit scan *)
+}
 
 let changes = ref 0
 let pending : (t * Bits.t) list ref = ref []
@@ -12,13 +22,15 @@ let create ?name width =
   let name =
     match name with Some n -> n | None -> Printf.sprintf "sig%d" !counter
   in
-  { name; width; value = Bits.zero width }
+  { name; width; value = Bits.zero width; listeners = []; commit_stamp = 0 }
 
 let name t = t.name
 let width t = t.width
 let get t = t.value
 let get_bool t = Bits.to_bool t.value
 let get_int t = Bits.to_int t.value
+
+let on_change t f = t.listeners <- f :: t.listeners
 
 let set t v =
   if Bits.width v <> t.width then
@@ -28,7 +40,10 @@ let set t v =
             t.width));
   if not (Bits.equal t.value v) then begin
     t.value <- v;
-    incr changes
+    incr changes;
+    match t.listeners with
+    | [] -> ()
+    | ls -> List.iter (fun f -> f ()) ls
   end
 
 let set_bool t b =
@@ -50,17 +65,24 @@ let set_next_bool t b = set_next t (Bits.of_bool b)
 let set_next_int t v = set_next t (Bits.of_int ~width:t.width v)
 let change_count () = !changes
 
+let commit_epoch = ref 0
+
 let commit_pending () =
-  (* Last write wins: the list is newest-first, so remember which signals we
-     have already committed and skip older writes. *)
-  let seen = ref [] in
-  List.iter
-    (fun (s, v) ->
-      if not (List.memq s !seen) then begin
-        seen := s :: !seen;
-        set s v
-      end)
-    !pending;
+  (* Last write wins: the list is newest-first, so the first write stamped
+     with the current epoch shadows any older queued writes to the same
+     signal — a single O(n) scan, no membership lists. *)
+  (match !pending with
+  | [] -> ()
+  | writes ->
+      incr commit_epoch;
+      let epoch = !commit_epoch in
+      List.iter
+        (fun (s, v) ->
+          if s.commit_stamp <> epoch then begin
+            s.commit_stamp <- epoch;
+            set s v
+          end)
+        writes);
   pending := []
 
 let clear_pending () = pending := []

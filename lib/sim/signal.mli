@@ -45,6 +45,13 @@ val set_next_int : t -> int -> unit
 val change_count : unit -> int
 (** Global counter incremented whenever any signal actually changes value. *)
 
+val on_change : t -> (unit -> unit) -> unit
+(** [on_change s f] subscribes [f] to the signal's fan-out list: it fires
+    whenever the signal's value actually changes (immediately after the new
+    value becomes visible), whether via {!set} or a {!commit_pending}. The
+    event-driven kernel uses this to mark reader components dirty; listeners
+    must be cheap, must not drive signals, and cannot be removed. *)
+
 val commit_pending : unit -> unit
 (** Apply all queued {!set_next} writes. Called by the kernel. *)
 

@@ -10,6 +10,16 @@ let make ?(obs = Obs.none) ~stubs (sis : Sis_if.t) =
   let sorted = List.sort_uniq compare ids in
   if List.length sorted <> List.length ids then
     invalid_arg "Arbiter_model.make: duplicate function ids";
+  let vec_width = Signal.width sis.Sis_if.calc_done in
+  List.iter
+    (fun id ->
+      if id - 1 >= vec_width then
+        invalid_arg
+          (Printf.sprintf
+             "Arbiter_model.make: function id %d needs CALC_DONE bit %d but \
+              the vector is only %d bit(s) wide"
+             id (id - 1) vec_width))
+    ids;
   let width = Signal.width sis.Sis_if.data_out in
   let comb () =
     (* output mux, selected by FUNC_ID *)
@@ -24,13 +34,12 @@ let make ?(obs = Obs.none) ~stubs (sis : Sis_if.t) =
         Signal.set sis.Sis_if.data_out (Bits.zero width);
         Signal.set_bool sis.Sis_if.data_out_valid false;
         Signal.set_bool sis.Sis_if.io_done false);
-    (* CALC_DONE status vector: bit (id-1) per instance *)
-    let vec_width = Signal.width sis.Sis_if.calc_done in
+    (* CALC_DONE status vector: bit (id-1) per instance; construction
+       rejected any id whose bit would fall outside the vector *)
     let vec =
       List.fold_left
         (fun acc (id, (p : Stub_model.ports)) ->
-          if id - 1 < vec_width && Signal.get_bool p.calc_done then
-            Bits.set_bit acc (id - 1) true
+          if Signal.get_bool p.calc_done then Bits.set_bit acc (id - 1) true
           else acc)
         (Bits.zero vec_width) stubs
     in
@@ -73,4 +82,13 @@ let make ?(obs = Obs.none) ~stubs (sis : Sis_if.t) =
       end
     end
   in
-  Component.make ~comb ~seq "arbiter"
+  (* the mux is a pure function of FUNC_ID and the stub port outputs; [seq]
+     only does grant bookkeeping that [comb] never reads, hence ~state:false *)
+  let reads =
+    sis.Sis_if.func_id
+    :: List.concat_map
+         (fun (_, (p : Stub_model.ports)) ->
+           [ p.data_out; p.data_out_valid; p.io_done; p.calc_done ])
+         stubs
+  in
+  Component.make ~reads ~state:false ~comb ~seq "arbiter"

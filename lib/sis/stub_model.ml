@@ -253,7 +253,13 @@ let make ~spec ~func ~instance ~sis ~ports ~behavior =
   in
   (match func.Spec.inputs with [] -> enter_input t 0 [] | l -> enter_input t 0 l);
   let name = Printf.sprintf "stub:%s#%d" func.Spec.name instance in
-  t.comp <- Component.make ~comb:(comb t) ~seq:(seq t) name;
+  (* [comb t] reads only the selection/strobe lines (the phase machine and
+     pending flags are clocked state, covered by the default edge
+     sensitivity); DATA_IN is sampled by [seq], not by [comb] *)
+  t.comp <-
+    Component.make
+      ~reads:[ sis.Sis_if.func_id; sis.Sis_if.io_enable; sis.Sis_if.data_in_valid ]
+      ~comb:(comb t) ~seq:(seq t) name;
   t
 
 let component t = t.comp

@@ -142,6 +142,20 @@ let ablation_tests =
         List.iter
           (fun p -> check_int "flat" first p.Experiment.Arbitration.cycles)
           points);
+    t "E14: event scheduler cycles identically with fewer comb evals" (fun () ->
+        (* fast subset of the full bench table: one Fig 9.2 implementation
+           plus one arbitration width *)
+        List.iter
+          (fun (p : Experiment.Scheduler.point) ->
+            check_bool (p.Experiment.Scheduler.label ^ ": cycles agree") true
+              (Experiment.Scheduler.agree p);
+            check_bool (p.Experiment.Scheduler.label ^ ": fewer evals") true
+              (p.Experiment.Scheduler.evals_event
+              < p.Experiment.Scheduler.evals_sweep))
+          [
+            Experiment.Scheduler.interp_point Interpolator.Splice_plb_simple;
+            Experiment.Scheduler.arbitration_point 4;
+          ]);
     t "E9: bursts always help and help more for longer arrays (§3.2.2)"
       (fun () ->
         let points = Experiment.Burst.run ~sizes:[ 2; 8; 32 ] () in

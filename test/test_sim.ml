@@ -124,6 +124,86 @@ let kernel_tests =
         Alcotest.(check (list int)) "hooks" [ 3; 2; 1 ] !hits);
   ]
 
+let scheduler_tests =
+  (* the event-driven kernel (default since the dirty-set scheduler landed)
+     must be observationally identical to the legacy sweep; only the number
+     of comb evaluations may differ *)
+  let chain sched =
+    (* c2 depends on c1 depends on src, registered in reverse order so
+       in-pass propagation is exercised *)
+    let src = Signal.create 8 and w1 = Signal.create 8 and w2 = Signal.create 8 in
+    let k = Kernel.create ~sched () in
+    Kernel.add k
+      (Component.make ~reads:[ w1 ]
+         ~comb:(fun () -> Signal.set w2 (Signal.get w1))
+         "w2");
+    Kernel.add k
+      (Component.make ~reads:[ src ]
+         ~comb:(fun () -> Signal.set w1 (Signal.get src))
+         "w1");
+    (src, w2, k)
+  in
+  [
+    t "declared reads propagate through a chain" (fun () ->
+        let src, w2, k = chain `Event in
+        Signal.set_int src 9;
+        Kernel.cycle k;
+        check_int "propagated" 9 (Signal.get_int w2);
+        Signal.set_int src 4;
+        Kernel.cycle k;
+        check_int "re-propagated" 4 (Signal.get_int w2));
+    t "quiescent components are not re-evaluated" (fun () ->
+        let run sched =
+          let src, w2, k = chain sched in
+          Signal.set_int src 9;
+          Kernel.run k 10;
+          (Signal.get_int w2, (Kernel.stats k).Kernel.comb_evals)
+        in
+        let v_event, evals_event = run `Event in
+        let v_sweep, evals_sweep = run `Sweep in
+        check_int "same output" v_sweep v_event;
+        check_bool
+          (Printf.sprintf "fewer evals (%d < %d)" evals_event evals_sweep)
+          true
+          (evals_event < evals_sweep));
+    t "seq-only kernel performs zero comb evals" (fun () ->
+        let n = ref 0 in
+        let k = Kernel.create () in
+        Kernel.add k (Component.make ~seq:(fun () -> incr n) "counter");
+        Kernel.run k 5;
+        check_int "ran" 5 !n;
+        check_int "no comb work" 0 (Kernel.stats k).Kernel.comb_evals);
+    t "comb divergence detected with declared reads" (fun () ->
+        (* a self-loop: the oscillator reads the signal it drives, so every
+           evaluation re-marks it dirty and the delta loop never drains *)
+        let s = Signal.create 8 in
+        let k = Kernel.create ~max_comb_iters:8 () in
+        Kernel.add k
+          (Component.make ~reads:[ s ]
+             ~comb:(fun () -> Signal.set s (Bits.succ (Signal.get s)))
+             "oscillator");
+        (match Kernel.cycle k with
+        | () -> Alcotest.fail "expected divergence"
+        | exception Kernel.Comb_divergence { iterations; _ } ->
+            check_int "gave up at the limit" 8 iterations);
+        Signal.clear_pending ());
+    t "edge-sensitive components re-arm every cycle" (fun () ->
+        (* comb output depends on state mutated only by the component's own
+           seq — no input signal ever changes, yet the output must track the
+           internal counter (the conservative ~state:true contract) *)
+        let out = Signal.create 8 in
+        let count = ref 0 in
+        let k = Kernel.create () in
+        Kernel.add k
+          (Component.make ~reads:[] ~state:true
+             ~comb:(fun () -> Signal.set_int out !count)
+             ~seq:(fun () -> incr count)
+             "edge");
+        Kernel.run k 3;
+        (* settled (pre-edge) view of the third cycle *)
+        check_int "tracks state" 2 (Signal.get_int out));
+  ]
+
 let wave_tests =
   [
     t "wave captures history" (fun () ->
@@ -171,6 +251,55 @@ let wave_tests =
         Sys.remove path;
         check_bool "header" true (Astring_contains.contains contents "$var wire 8");
         check_bool "value change" true (Astring_contains.contains contents "b11111111"));
+    t "vcd set_next lands under the right #N marker" (fun () ->
+        (* a set_next issued in cycle c commits at the end of c, so the VCD
+           (which dumps the settled pre-edge view under #(c+1)) must first
+           show it under #(c+2) — a regression guard for the [cycle + 1]
+           emission in Vcd.attach *)
+        let s = Signal.create ~name:"v" 8 in
+        let k = Kernel.create () in
+        Kernel.add k
+          (Component.make ~seq:(fun () -> Signal.set_next_int s 255) "drv");
+        let path = Filename.temp_file "splice" ".vcd" in
+        let vcd = Vcd.create ~path ~module_name:"tb" [ s ] in
+        Vcd.attach vcd k;
+        Kernel.run k 2;
+        Vcd.close vcd;
+        let ic = open_in path in
+        let contents = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        Sys.remove path;
+        check_bool "under #2" true
+          (Astring_contains.contains contents "#2\nb11111111");
+        check_bool "not under #1" false
+          (Astring_contains.contains contents "#1\nb11111111"));
+    t "vcd dump is identical under event and sweep schedulers" (fun () ->
+        (* full-stack equivalence: the complete Fig 9.2 driver call, traced
+           signal-by-signal and cycle-by-cycle *)
+        let dump sched =
+          let host =
+            Splice.Interpolator.make_host ~sched
+              Splice.Interpolator.Splice_plb_simple
+          in
+          let sis = Splice.Host.sis host in
+          let path = Filename.temp_file "splice" ".vcd" in
+          let vcd = Vcd.create ~path ~module_name:"tb" (Sis_if.signals sis) in
+          Vcd.attach vcd (Splice.Host.kernel host);
+          let r, c =
+            Splice.Interpolator.run host (Splice.Interp_scenarios.by_id 1)
+          in
+          Vcd.close vcd;
+          let ic = open_in path in
+          let contents = really_input_string ic (in_channel_length ic) in
+          close_in ic;
+          Sys.remove path;
+          (r, c, contents)
+        in
+        let r_e, c_e, d_e = dump `Event in
+        let r_s, c_s, d_s = dump `Sweep in
+        Alcotest.(check int64) "result" r_s r_e;
+        check_int "cycles" c_s c_e;
+        Alcotest.(check string) "vcd dumps" d_s d_e);
   ]
 
 let determinism_tests =
@@ -208,6 +337,7 @@ let tests =
   [
     ("sim.signal", signal_tests);
     ("sim.kernel", kernel_tests);
+    ("sim.scheduler", scheduler_tests);
     ("sim.wave", wave_tests);
     ("sim.determinism", determinism_tests);
   ]

@@ -234,6 +234,20 @@ let arbiter_tests =
         with
         | _ -> Alcotest.fail "expected rejection"
         | exception Invalid_argument _ -> ());
+    t "id beyond CALC_DONE width rejected at construction" (fun () ->
+        (* instances:1 gives a 1-bit CALC_DONE; id 2 would need bit 1. The
+           old arbiter silently dropped that bit at runtime, so the driver
+           would poll a status flag that could never rise *)
+        let sis = Sis_if.create ~bus_width:32 ~func_id_width:2 ~instances:1 () in
+        match
+          Arbiter_model.make
+            ~stubs:[ (2, Stub_model.create_ports ~bus_width:32 ()) ]
+            sis
+        with
+        | _ -> Alcotest.fail "expected rejection"
+        | exception Invalid_argument msg ->
+            check_bool "message names the id" true
+              (Astring_contains.contains msg "function id 2"));
   ]
 
 let monitor_tests =
