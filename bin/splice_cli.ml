@@ -4,7 +4,8 @@
    splice gen    SPEC [-o DIR]  generate the HDL + driver file set
    splice plan   SPEC           show per-function transfer plans
    splice buses                 list registered bus adapters
-   splice eval                  reproduce the Ch 9 evaluation tables *)
+   splice eval                  reproduce the Ch 9 evaluation tables
+   splice fuzz                  differential conformance fuzzing *)
 
 open Cmdliner
 
@@ -267,9 +268,100 @@ let eval_cmd =
           export the results.")
     Term.(const run $ stats $ trace)
 
+let fuzz_cmd =
+  let seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Base random seed. Defaults to a fresh random seed (printed, so \
+             any run can be reproduced).")
+  in
+  let count =
+    Arg.(
+      value & opt int 50
+      & info [ "count" ] ~docv:"K"
+          ~doc:"Random specifications to generate and run.")
+  in
+  let bus =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bus" ] ~docv:"BUS"
+          ~doc:
+            "Restrict the matrix to one bus (default: every registered bus).")
+  in
+  let sched =
+    Arg.(
+      value
+      & opt (enum [ ("both", `Both); ("event", `Event); ("sweep", `Sweep) ]) `Both
+      & info [ "sched" ] ~docv:"SCHED"
+          ~doc:
+            "Kernel scheduler(s): $(b,event), $(b,sweep), or $(b,both) \
+             (cross-checking the E14 cycle-count invariant).")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress per-iteration progress.")
+  in
+  let run seed count bus sched quiet =
+    let seed =
+      match seed with
+      | Some s -> s
+      | None ->
+          Random.self_init ();
+          Random.bits ()
+    in
+    let buses =
+      match bus with
+      | None -> []
+      | Some b when Splice.Registry.find b <> None -> [ b ]
+      | Some b ->
+          Printf.eprintf "unknown bus %S (see `splice buses`)\n" b;
+          exit 2
+    in
+    let scheds =
+      match sched with
+      | `Both -> [ `Event; `Sweep ]
+      | (`Event | `Sweep) as s -> [ s ]
+    in
+    let config = { Splice.Diff.default_config with seed; count; buses; scheds } in
+    Printf.printf "splice fuzz: seed=%d count=%d buses=%s scheds=%s\n%!" seed count
+      (String.concat ","
+         (match buses with [] -> Splice.Registry.names () | b -> b))
+      (String.concat "," (List.map Splice.Diff.sched_name scheds));
+    let log = if quiet then ignore else fun line -> Printf.printf "  %s\n%!" line in
+    let report = Splice.Diff.run ~log config in
+    match report.Splice.Diff.r_failure with
+    | None ->
+        Printf.printf
+          "OK: %d specs x %d buses, %d calls checked, no protocol or \
+           golden-model violations\n"
+          report.Splice.Diff.r_iterations
+          (List.length report.Splice.Diff.r_buses)
+          report.Splice.Diff.r_calls;
+        0
+    | Some f ->
+        Format.eprintf "%a@." Splice.Diff.pp_failure f;
+        1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential conformance fuzzing: run random specifications and \
+          random traffic on every registered bus under both kernel \
+          schedulers, with all protocol monitors attached, asserting \
+          golden-model data equality and scheduler cycle-count agreement. \
+          Prints a reproduction command on failure.")
+    Term.(const run $ seed $ count $ bus $ sched $ quiet)
+
 let () =
   let info =
     Cmd.info "splice" ~version:Splice.version
       ~doc:"A standardized peripheral logic and interface creation engine."
   in
-  exit (Cmd.eval' (Cmd.group info [ check_cmd; gen_cmd; plan_cmd; buses_cmd; markers_cmd; lint_cmd; eval_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ check_cmd; gen_cmd; plan_cmd; buses_cmd; markers_cmd; lint_cmd;
+            eval_cmd; fuzz_cmd ]))

@@ -21,7 +21,8 @@ let register (module B : Bus.S) =
 let unregister name =
   user := List.filter (fun (module B : Bus.S) -> Bus.name (module B) <> name) !user
 
-let names () = List.map Bus.name (!user @ builtins)
+let all () = !user @ builtins
+let names () = List.map Bus.name (all ())
 
 let lookup_caps name =
   Option.map (fun (module B : Bus.S) -> B.caps) (find name)

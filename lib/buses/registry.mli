@@ -13,7 +13,13 @@ val unregister : string -> unit
 (** Remove a user-registered bus (built-ins cannot be removed). *)
 
 val find : string -> (module Bus.S) option
+
+val all : unit -> (module Bus.S) list
+(** Every registered adapter (user-registered first, then built-ins) — the
+    enumeration the differential conformance matrix iterates. *)
+
 val names : unit -> string list
+(** [List.map Bus.name (all ())]. *)
 
 val lookup_caps : string -> Splice_syntax.Bus_caps.t option
 (** The [lookup_bus] function to pass to {!Splice_syntax.Validate.build}. *)

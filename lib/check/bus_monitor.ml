@@ -1,0 +1,233 @@
+open Splice_sim
+open Splice_sis
+open Splice_bits
+open Splice_buses
+
+(* What a bus's handshake axioms look like when watched through the SIS
+   lines (the adapter mappings of Figs 4.5-4.8 are combinational, so every
+   native-side rule has an exact SIS-side rendering). A [None] message
+   disables the rule for that bus. *)
+type rules = {
+  check : string;  (* Kernel.add_check name, "<bus>-protocol" *)
+  wr_ack_needs_req : string option;
+  rd_ack_needs_req : string option;
+  single_cycle_ack : string option;
+  single_cycle_access : string option;
+  stable_fid : string option;
+  stable_data : string option;
+  no_write_stall : string option;  (* strictly synchronous buses only *)
+}
+
+type st = {
+  mutable in_write : bool;  (* a write word presented, IO_DONE still low *)
+  mutable in_read : bool;  (* a read requested, DATA_OUT_VALID still low *)
+  mutable prev_done : bool;
+  mutable prev_access : bool;
+  mutable held_fid : int;
+  mutable held_data : Bits.t option;
+}
+
+let run_rules (r : rules) (sis : Sis_if.t) =
+  let st =
+    {
+      in_write = false;
+      in_read = false;
+      prev_done = false;
+      prev_access = false;
+      held_fid = 0;
+      held_data = None;
+    }
+  in
+  fun cycle ->
+    let fail fmt =
+      Format.kasprintf
+        (fun message -> Kernel.check_fail ~cycle ~check:r.check message)
+        fmt
+    in
+    let io_en = Signal.get_bool sis.Sis_if.io_enable in
+    if Signal.get_bool sis.Sis_if.rst then begin
+      if io_en then fail "request strobed during bus reset";
+      st.in_write <- false;
+      st.in_read <- false;
+      st.prev_done <- false;
+      st.prev_access <- false;
+      st.held_data <- None
+    end
+    else begin
+      let div = Signal.get_bool sis.Sis_if.data_in_valid in
+      let dov = Signal.get_bool sis.Sis_if.data_out_valid in
+      let done_ = Signal.get_bool sis.Sis_if.io_done in
+      let fid = Signal.get_int sis.Sis_if.func_id in
+      let new_write = io_en && div in
+      let new_read = io_en && not div in
+      if new_write && fid = 0 then
+        fail "write presented to the read-only status register (FUNC_ID 0)";
+      (* acknowledges may only answer a request (addrAck-before-dataAck) *)
+      let wr_ack = done_ && not dov and rd_ack = dov in
+      (match r.wr_ack_needs_req with
+      | Some msg when wr_ack && not (st.in_write || new_write) -> fail "%s" msg
+      | _ -> ());
+      (match r.rd_ack_needs_req with
+      | Some msg when rd_ack && not (st.in_read || new_read) -> fail "%s" msg
+      | _ -> ());
+      (* single-cycle acknowledge / mandatory idle phase between accesses *)
+      (match r.single_cycle_ack with
+      | Some msg when done_ && st.prev_done -> fail "%s" msg
+      | _ -> ());
+      (match r.single_cycle_access with
+      | Some msg when io_en && st.prev_access -> fail "%s" msg
+      | _ -> ());
+      (* qualifier stability while a transfer is wait-stated *)
+      if st.in_write || st.in_read then begin
+        (match r.stable_fid with
+        | Some msg when fid <> st.held_fid -> fail "%s" msg
+        | _ -> ());
+        match (r.stable_data, st.held_data) with
+        | Some msg, Some held
+          when st.in_write && not (Bits.equal held (Signal.get sis.Sis_if.data_in))
+          ->
+            fail "%s" msg
+        | _ -> ()
+      end;
+      (* strictly synchronous transfers cannot be paused by the slave *)
+      (match r.no_write_stall with
+      | Some msg when new_write && fid <> 0 && not done_ -> fail "%s" msg
+      | _ -> ());
+      (* outstanding-transfer bookkeeping (mirrors Figs 4.5/4.6 tracking) *)
+      if new_write && not done_ then begin
+        st.in_write <- true;
+        st.held_fid <- fid;
+        st.held_data <- Some (Signal.get sis.Sis_if.data_in)
+      end;
+      if new_read && not dov then begin
+        st.in_read <- true;
+        st.held_fid <- fid
+      end;
+      if done_ && not dov then begin
+        st.in_write <- false;
+        st.held_data <- None
+      end;
+      if dov then st.in_read <- false;
+      st.prev_done <- done_;
+      st.prev_access <- io_en
+    end
+
+let no_rules name =
+  {
+    check = name ^ "-protocol";
+    wr_ack_needs_req = None;
+    rd_ack_needs_req = None;
+    single_cycle_ack = None;
+    single_cycle_access = None;
+    stable_fid = None;
+    stable_data = None;
+    no_write_stall = None;
+  }
+
+let plb_rules =
+  {
+    (no_rules "plb") with
+    wr_ack_needs_req =
+      Some "PLB_WrAck asserted with no write in flight (dataAck before addrAck)";
+    rd_ack_needs_req =
+      Some "PLB_RdAck asserted with no read in flight (dataAck before addrAck)";
+    stable_fid = Some "PLB_RdCE/PLB_WrCE one-hot select changed mid-transaction";
+    stable_data = Some "PLB_DataIn changed before the acknowledge (Fig 4.5)";
+  }
+
+let opb_rules =
+  {
+    (no_rules "opb") with
+    wr_ack_needs_req = Some "Sln_XferAck asserted with no OPB transfer in flight";
+    rd_ack_needs_req = Some "Sln_DBus driven valid with no OPB read in flight";
+    single_cycle_ack =
+      Some "Sln_XferAck held for consecutive cycles (xferAck is a single-cycle strobe)";
+    single_cycle_access =
+      Some "OPB_Select held across back-to-back accesses (the OPB has no bursts)";
+    stable_fid = Some "OPB_ABus changed before Sln_XferAck";
+  }
+
+let fcb_rules =
+  {
+    (no_rules "fcb") with
+    wr_ack_needs_req = Some "FCB_Done asserted with no decoded opcode in flight";
+    rd_ack_needs_req = Some "FCB_RdData valid with no decoded load opcode in flight";
+    stable_fid =
+      Some "FCB_Reg (the opcode's register field) changed while an opcode is outstanding";
+    stable_data = Some "FCB_WrData changed before FCB_Done";
+  }
+
+let apb_rules =
+  {
+    (no_rules "apb") with
+    rd_ack_needs_req = Some "PRDATA strobed with no APB access in flight";
+    single_cycle_access =
+      Some "PENABLE held beyond the single enable phase (setup->enable phasing)";
+    no_write_stall =
+      Some "APB slave inserted a wait state on a write (APB transfers cannot be paused)";
+  }
+
+let ahb_rules =
+  {
+    (no_rules "ahb") with
+    wr_ack_needs_req = Some "HREADY write acknowledge with no active HTRANS beat";
+    rd_ack_needs_req = Some "HRDATA valid with no active HTRANS beat";
+    stable_fid = Some "HADDR changed during a wait-stated AHB beat";
+    stable_data = Some "HWDATA changed during a wait-stated AHB beat";
+  }
+
+let avalon_rules =
+  {
+    (no_rules "avalon") with
+    wr_ack_needs_req = Some "Avalon write completion with no av_write request in flight";
+    rd_ack_needs_req = Some "av_readdata valid with no av_read request in flight";
+    stable_fid = Some "av_address changed while av_waitrequest is asserted";
+    stable_data = Some "av_writedata changed while av_waitrequest is asserted";
+  }
+
+let wishbone_rules =
+  {
+    (no_rules "wishbone") with
+    wr_ack_needs_req = Some "ACK_O asserted with CYC_I/STB_I negated (no cycle in progress)";
+    rd_ack_needs_req = Some "DAT_O valid with CYC_I/STB_I negated (no cycle in progress)";
+    stable_fid = Some "ADR_I changed before ACK_O within a classic cycle";
+    stable_data = Some "DAT_I changed before ACK_O within a classic cycle";
+  }
+
+let dedicated =
+  [
+    ("plb", plb_rules); ("opb", opb_rules); ("fcb", fcb_rules);
+    ("apb", apb_rules); ("ahb", ahb_rules); ("avalon", avalon_rules);
+    ("wishbone", wishbone_rules);
+  ]
+
+let supported = List.map fst dedicated
+
+(* User-registered buses without a dedicated monitor still get the axioms
+   every SIS adapter must satisfy, flavoured by the bus's capabilities. *)
+let generic_rules name (caps : Splice_syntax.Bus_caps.t option) =
+  let strictly_sync =
+    match caps with Some c -> not c.Splice_syntax.Bus_caps.pseudo_async | None -> false
+  in
+  {
+    (no_rules name) with
+    wr_ack_needs_req = Some "write acknowledge with no write in flight";
+    rd_ack_needs_req = Some "read data valid with no read in flight";
+    stable_fid = Some "FUNC_ID changed while a transfer is outstanding (§4.2.1)";
+    no_write_stall =
+      (if strictly_sync then
+         Some "wait state on a strictly synchronous write (§4.2.2)"
+       else None);
+  }
+
+let rules_for name =
+  match List.assoc_opt name dedicated with
+  | Some r -> r
+  | None -> generic_rules name (Registry.lookup_caps name)
+
+let attach kernel ~bus sis =
+  let r = rules_for bus in
+  Kernel.add_check kernel r.check (run_rules r sis)
+
+let attach_bus kernel (module B : Bus.S) sis =
+  attach kernel ~bus:B.caps.Splice_syntax.Bus_caps.name sis

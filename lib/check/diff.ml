@@ -1,0 +1,243 @@
+open Splice_sim
+open Splice_syntax
+open Splice_buses
+open Splice_driver
+
+type config = {
+  seed : int;
+  count : int;
+  buses : string list;
+  scheds : Kernel.sched list;
+  max_cycles : int;
+}
+
+let default_config =
+  { seed = 0; count = 50; buses = []; scheds = [ `Event; `Sweep ]; max_cycles = 20_000 }
+
+type failure = {
+  f_iteration : int;
+  f_seed : int;
+  f_bus : string;
+  f_sched : Kernel.sched;
+  f_func : string option;
+  f_message : string;
+  f_spec : Specgen.gspec;
+}
+
+type report = {
+  r_iterations : int;
+  r_calls : int;
+  r_buses : string list;
+  r_failure : failure option;
+}
+
+let sched_name = function `Event -> "event" | `Sweep -> "sweep"
+
+(* [iteration_seed s 0 = s] so the repro command (--seed S --count 1)
+   regenerates exactly the failing spec and traffic. *)
+let iteration_seed seed i = (seed + (i * 0x27d4eb2f)) land max_int
+
+(* traffic is derived from a fixed offset of the iteration seed, not from
+   the spec generator's final state — so a shrunk spec keeps deterministic
+   traffic without replaying the generation that produced it *)
+let traffic_for iseed spec =
+  Specgen.traffic (Specgen.Rng.make (iseed lxor 0x5bd1e995)) spec
+
+exception Call_failed of string option * string
+
+(* Run one spec's traffic on one bus under one scheduler with every monitor
+   attached. Returns per-call cycle counts (for the E14 cross-check). *)
+let exec ~max_cycles ~iseed g bus sched =
+  match Specgen.validate (Specgen.with_bus g bus) with
+  | Error e -> Error (None, Printf.sprintf "spec does not validate on %s: %s" bus e)
+  | Ok spec -> (
+      let tr = traffic_for iseed spec in
+      let run () =
+        let host =
+          Host.create ~sched spec
+            ~behaviors:(Specgen.behavior ~calc_cycles:tr.Specgen.t_calc_cycles)
+        in
+        Bus_monitor.attach (Host.kernel host) ~bus (Host.sis host);
+        List.map
+          (fun (c : Specgen.call) ->
+            let f =
+              match Spec.find_func spec c.Specgen.c_func with
+              | Some f -> f
+              | None -> raise (Call_failed (Some c.Specgen.c_func, "unknown function"))
+            in
+            let result, cycles =
+              try
+                Host.call ~instance:c.Specgen.c_instance ~max_cycles host
+                  ~func:c.Specgen.c_func ~args:c.Specgen.c_args
+              with
+              | Kernel.Check_failed { cycle; check; message } ->
+                  raise
+                    (Call_failed
+                       ( Some c.Specgen.c_func,
+                         Printf.sprintf "%s violation at cycle %d: %s" check cycle
+                           message ))
+              | Kernel.Timeout { elapsed; waiting_for; _ } ->
+                  raise
+                    (Call_failed
+                       ( Some c.Specgen.c_func,
+                         Printf.sprintf "timeout after %d cycles waiting for %s"
+                           elapsed waiting_for ))
+              | Kernel.Comb_divergence { cycle; iterations } ->
+                  raise
+                    (Call_failed
+                       ( Some c.Specgen.c_func,
+                         Printf.sprintf
+                           "combinational divergence at cycle %d (%d delta passes)"
+                           cycle iterations ))
+            in
+            if cycles <= 0 then
+              raise (Call_failed (Some c.Specgen.c_func, "call consumed no cycles"));
+            let expected = Specgen.expected_output f ~args:c.Specgen.c_args in
+            if result <> expected then
+              raise
+                (Call_failed
+                   ( Some c.Specgen.c_func,
+                     Format.asprintf
+                       "golden-model mismatch: got [%a], expected [%a]"
+                       Format.(pp_print_list ~pp_sep:(fun f () -> pp_print_string f "; ")
+                                 (fun f v -> pp_print_string f (Int64.to_string v)))
+                       result
+                       Format.(pp_print_list ~pp_sep:(fun f () -> pp_print_string f "; ")
+                                 (fun f v -> pp_print_string f (Int64.to_string v)))
+                       expected ));
+            (c.Specgen.c_func, cycles))
+          tr.Specgen.t_calls
+      in
+      match run () with
+      | cycles -> Ok cycles
+      | exception Call_failed (func, msg) ->
+          (* an aborted cycle may leave deferred writes queued in the
+             module-global signal store; drop them before the next kernel *)
+          Signal.clear_pending ();
+          Error (func, msg))
+
+(* One (spec, bus) cell of the matrix: every scheduler, then the E14
+   cycle-count cross-check between them. Returns the calls executed. *)
+let exec_bus ~max_cycles ~iseed g bus scheds =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | sched :: rest -> (
+        match exec ~max_cycles ~iseed g bus sched with
+        | Ok cycles -> go ((sched, cycles) :: acc) rest
+        | Error (func, msg) -> Error (sched, func, msg))
+  in
+  match go [] scheds with
+  | Error _ as e -> e
+  | Ok runs -> (
+      match runs with
+      | (s0, c0) :: rest ->
+          let mismatch =
+            List.find_map
+              (fun (s, c) ->
+                List.find_map
+                  (fun ((f0, n0), (f1, n1)) ->
+                    if f0 = f1 && n0 <> n1 then
+                      Some
+                        ( s,
+                          Some f0,
+                          Printf.sprintf
+                            "E14 scheduler invariant broken: %s took %d cycles \
+                             under %s but %d under %s"
+                            f0 n0 (sched_name s0) n1 (sched_name s) )
+                    else None)
+                  (List.combine c0 c))
+              rest
+          in
+          (match mismatch with Some (s, f, m) -> Error (s, f, m) | None -> Ok runs)
+      | [] -> Ok runs)
+
+let repro_command f =
+  Printf.sprintf "splice fuzz --seed %d --count 1 --bus %s" f.f_seed f.f_bus
+
+let pp_failure fmt f =
+  Format.fprintf fmt
+    "@[<v>FAIL on bus %s (%s scheduler), iteration %d, seed %d%a:@,  %s@,@,\
+     shrunk specification:@,%a@,reproduce with:@,  %s@]"
+    f.f_bus (sched_name f.f_sched) f.f_iteration f.f_seed
+    (fun fmt -> function
+      | Some fn -> Format.fprintf fmt ", function %s" fn
+      | None -> ())
+    f.f_func f.f_message Specgen.pp f.f_spec (repro_command f)
+
+(* Greedy structural shrinking: keep taking the first smaller candidate that
+   still fails on the same bus, bounded by a predicate-evaluation budget. *)
+let shrink_failure ~max_cycles ~iseed ~bus ~scheds g =
+  let budget = ref 200 in
+  let fails g' =
+    decr budget;
+    match exec_bus ~max_cycles ~iseed g' bus scheds with
+    | Ok _ -> None
+    | Error (sched, func, msg) -> Some (sched, func, msg)
+  in
+  let rec go g cur =
+    if !budget <= 0 then (g, cur)
+    else
+      match
+        List.find_map
+          (fun g' -> if !budget <= 0 then None
+            else Option.map (fun f -> (g', f)) (fails g'))
+          (Specgen.shrink g)
+      with
+      | Some (g', f) -> go g' f
+      | None -> (g, cur)
+  in
+  go g
+
+let run ?(log = ignore) config =
+  let buses =
+    match config.buses with [] -> Registry.names () | buses -> buses
+  in
+  List.iter
+    (fun b ->
+      if Registry.find b = None then
+        failwith (Printf.sprintf "Diff.run: unknown bus %S" b))
+    buses;
+  let calls = ref 0 in
+  let failure = ref None in
+  let i = ref 0 in
+  while !failure = None && !i < config.count do
+    let iseed = iteration_seed config.seed !i in
+    (* generate once with a throwaway bus; the matrix overrides it *)
+    let g = Specgen.spec ~buses (Specgen.Rng.make iseed) in
+    let rec over_buses = function
+      | [] -> ()
+      | bus :: rest -> (
+          match exec_bus ~max_cycles:config.max_cycles ~iseed g bus config.scheds with
+          | Ok runs ->
+              List.iter (fun (_, c) -> calls := !calls + List.length c) runs;
+              over_buses rest
+          | Error (sched, func, msg) ->
+              let g', (sched', func', msg') =
+                shrink_failure ~max_cycles:config.max_cycles ~iseed ~bus
+                  ~scheds:config.scheds g (sched, func, msg)
+              in
+              failure :=
+                Some
+                  {
+                    f_iteration = !i;
+                    f_seed = iseed;
+                    f_bus = bus;
+                    f_sched = sched';
+                    f_func = func';
+                    f_message = msg';
+                    f_spec = g';
+                  })
+    in
+    over_buses buses;
+    incr i;
+    if !failure = None then
+      log
+        (Printf.sprintf "iteration %d/%d (seed %d): %d buses x %d schedulers ok"
+           !i config.count iseed (List.length buses) (List.length config.scheds))
+  done;
+  {
+    r_iterations = !i;
+    r_calls = !calls;
+    r_buses = buses;
+    r_failure = !failure;
+  }

@@ -1,0 +1,60 @@
+(** Differential conformance executor.
+
+    The thesis's central claim (Ch 4–5, Fig 9.2) is that one interface
+    declaration behaves identically on every supported bus. This module
+    turns that claim into an executable check: each random specification and
+    its random traffic (from {!Specgen}) runs on {e every} bus in the
+    matrix, under {e both} kernel schedulers, with the SIS monitor and the
+    per-bus {!Bus_monitor} attached — asserting
+
+    - golden-model data equality (the digest round-trip of
+      {!Specgen.expected_output});
+    - no protocol-monitor violation on any bus;
+    - the E14 scheduler invariant: the event-driven and sweep schedulers
+      agree on the cycle count of every call.
+
+    On failure the offending spec is shrunk and packaged with the exact
+    [splice fuzz] command that reproduces it. *)
+
+open Splice_sim
+
+type config = {
+  seed : int;
+  count : int;  (** iterations (one random spec + traffic each) *)
+  buses : string list;  (** [[]] = every bus in {!Splice_buses.Registry} *)
+  scheds : Kernel.sched list;
+  max_cycles : int;  (** per-call watchdog *)
+}
+
+val default_config : config
+(** seed 0, count 50, all buses, both schedulers, 20_000-cycle watchdog. *)
+
+type failure = {
+  f_iteration : int;
+  f_seed : int;  (** pass as [--seed] with [--count 1] to reproduce *)
+  f_bus : string;
+  f_sched : Kernel.sched;
+  f_func : string option;
+  f_message : string;
+  f_spec : Specgen.gspec;  (** already shrunk *)
+}
+
+type report = {
+  r_iterations : int;  (** iterations completed (including any failing one) *)
+  r_calls : int;  (** total (call × bus × scheduler) executions checked *)
+  r_buses : string list;  (** the matrix actually exercised *)
+  r_failure : failure option;  (** first failure, after shrinking *)
+}
+
+val run : ?log:(string -> unit) -> config -> report
+(** Stops at the first failure. [log] receives one progress line per
+    iteration. *)
+
+val iteration_seed : int -> int -> int
+(** [iteration_seed seed i]: the derived seed of iteration [i];
+    [iteration_seed s 0 = s], so a reported seed reproduces with
+    [--count 1]. *)
+
+val sched_name : Kernel.sched -> string
+val repro_command : failure -> string
+val pp_failure : Format.formatter -> failure -> unit

@@ -1,0 +1,252 @@
+open Splice_syntax
+open Splice_buses
+open Splice_sis
+
+(* -------- deterministic PRNG (splitmix64) -------- *)
+
+module Rng = struct
+  type t = { mutable state : int64 }
+
+  let gamma = 0x9E3779B97F4A7C15L
+
+  let make seed = { state = Int64.of_int seed }
+
+  let next t =
+    t.state <- Int64.add t.state gamma;
+    let z = t.state in
+    let z =
+      Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+        0xBF58476D1CE4E5B9L
+    in
+    let z =
+      Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+        0x94D049BB133111EBL
+    in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+  let int64 t = next t
+
+  let int t bound =
+    if bound <= 0 then invalid_arg "Specgen.Rng.int: bound must be positive";
+    Int64.to_int
+      (Int64.rem (Int64.logand (next t) Int64.max_int) (Int64.of_int bound))
+
+  let bool t = Int64.logand (next t) 1L = 1L
+
+  let choose t = function
+    | [] -> invalid_arg "Specgen.Rng.choose: empty list"
+    | l -> List.nth l (int t (List.length l))
+
+  let split t = { state = next t }
+end
+
+(* -------- random specifications -------- *)
+
+type gparam = {
+  g_ty : string;
+  g_ptr_count : int option;
+  g_packed : bool;
+  g_by_ref : bool;
+}
+
+type gfunc = {
+  g_name : string;
+  g_params : gparam list;
+  g_ret : [ `Void | `Nowait | `Scalar of string ];
+  g_instances : int;
+}
+
+type gspec = { g_bus : string; g_funcs : gfunc list; g_packing : bool }
+
+let scalar_types = [ "char"; "short"; "int"; "unsigned"; "double" ]
+
+let gen_param rng =
+  let ty = Rng.choose rng scalar_types in
+  let ptr = if Rng.bool rng then None else Some (1 + Rng.int rng 6) in
+  let packed = Rng.bool rng in
+  let by_ref = Rng.bool rng in
+  {
+    g_ty = ty;
+    g_ptr_count = ptr;
+    g_packed = packed && ptr <> None && ty = "char";
+    g_by_ref = by_ref && ptr <> None && not (packed && ty = "char");
+  }
+
+let gen_func rng i =
+  let nparams = Rng.int rng 4 in
+  let params = List.init nparams (fun _ -> gen_param rng) in
+  let ret =
+    Rng.choose rng [ `Void; `Nowait; `Scalar "int"; `Scalar "char"; `Scalar "double" ]
+  in
+  let instances = 1 + Rng.int rng 3 in
+  (* '&' write-backs need synchronisation: strip them on nowait funcs *)
+  let params =
+    if ret = `Nowait then List.map (fun p -> { p with g_by_ref = false }) params
+    else params
+  in
+  { g_name = Printf.sprintf "fn_%d" i; g_params = params; g_ret = ret;
+    g_instances = instances }
+
+let spec ?buses rng =
+  let buses = match buses with Some b -> b | None -> Registry.names () in
+  let bus = Rng.choose rng buses in
+  let nfuncs = 1 + Rng.int rng 4 in
+  let funcs = List.init nfuncs (fun i -> gen_func rng i) in
+  { g_bus = bus; g_funcs = funcs; g_packing = Rng.bool rng }
+
+let with_bus g bus = { g with g_bus = bus }
+
+let render g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "%device_name randomdev\n";
+  Buffer.add_string buf (Printf.sprintf "%%bus_type %s\n%%bus_width 32\n" g.g_bus);
+  Buffer.add_string buf "%base_address 0x80000000\n";
+  if g.g_packing then Buffer.add_string buf "%packing_support true\n";
+  List.iter
+    (fun f ->
+      let ret =
+        match f.g_ret with `Void -> "void" | `Nowait -> "nowait" | `Scalar ty -> ty
+      in
+      let params =
+        List.mapi
+          (fun i p ->
+            match p.g_ptr_count with
+            | None -> Printf.sprintf "%s p%d" p.g_ty i
+            | Some n ->
+                Printf.sprintf "%s*:%d%s%s p%d" p.g_ty n
+                  (if p.g_packed then "+" else "")
+                  (if p.g_by_ref then "&" else "")
+                  i)
+          f.g_params
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%s %s(%s)%s;\n" ret f.g_name (String.concat ", " params)
+           (if f.g_instances > 1 then Printf.sprintf ":%d" f.g_instances else "")))
+    g.g_funcs;
+  Buffer.contents buf
+
+let validate g =
+  match Validate.of_string ~lookup_bus:Registry.lookup_caps (render g) with
+  | Ok spec -> Ok spec
+  | Error issues ->
+      Error
+        (String.concat "; "
+           (List.map (fun i -> Format.asprintf "%a" Validate.pp_issue i) issues))
+
+let pp fmt g = Format.pp_print_string fmt (render g)
+
+(* Candidates ordered biggest-reduction-first, so the greedy descent in
+   [Diff] converges in few predicate evaluations. *)
+let shrink g =
+  let drop_nth l n = List.filteri (fun i _ -> i <> n) l in
+  let dropped_funcs =
+    if List.length g.g_funcs <= 1 then []
+    else
+      List.mapi (fun i _ -> { g with g_funcs = drop_nth g.g_funcs i }) g.g_funcs
+  in
+  let map_func i f' = { g with g_funcs = List.mapi (fun j f -> if i = j then f' else f) g.g_funcs } in
+  let dropped_params =
+    List.concat
+      (List.mapi
+         (fun i f ->
+           List.mapi (fun j _ -> map_func i { f with g_params = drop_nth f.g_params j })
+             f.g_params)
+         g.g_funcs)
+  in
+  let fewer_instances =
+    List.concat
+      (List.mapi
+         (fun i f -> if f.g_instances > 1 then [ map_func i { f with g_instances = 1 } ] else [])
+         g.g_funcs)
+  in
+  let simpler_params =
+    List.concat
+      (List.mapi
+         (fun i f ->
+           List.concat
+             (List.mapi
+                (fun j p ->
+                  let set p' =
+                    map_func i
+                      { f with g_params = List.mapi (fun k q -> if k = j then p' else q) f.g_params }
+                  in
+                  match p.g_ptr_count with
+                  | Some n when n > 1 -> [ set { p with g_ptr_count = Some 1 } ]
+                  | Some _ ->
+                      [ set { p with g_ptr_count = None; g_packed = false; g_by_ref = false } ]
+                  | None -> [])
+                f.g_params))
+         g.g_funcs)
+  in
+  let no_packing = if g.g_packing then [ { g with g_packing = false } ] else [] in
+  dropped_funcs @ dropped_params @ fewer_instances @ simpler_params @ no_packing
+
+(* -------- random traffic + golden digest model -------- *)
+
+type call = {
+  c_func : string;
+  c_instance : int;
+  c_args : (string * int64 list) list;
+}
+
+type traffic = { t_calc_cycles : int; t_calls : call list }
+
+let mask_to width v =
+  if width >= 64 then v
+  else Int64.logand v (Int64.sub (Int64.shift_left 1L width) 1L)
+
+let sign_to width v =
+  List.hd (Plan.sign_extend_elems ~elem_width:width ~signed:true [ mask_to width v ])
+
+let traffic rng (spec : Spec.t) =
+  let t_calc_cycles = 1 + Rng.int rng 4 in
+  let t_calls =
+    List.map
+      (fun (f : Spec.func) ->
+        let c_args =
+          List.map
+            (fun (io : Spec.io) ->
+              let elems = Spec.io_elem_count io ~values:(fun _ -> 1) in
+              ( io.Spec.io_name,
+                List.init elems (fun _ -> mask_to io.Spec.io_width (Rng.int64 rng)) ))
+            f.Spec.inputs
+        in
+        { c_func = f.Spec.name; c_instance = Rng.int rng f.Spec.instances; c_args })
+      spec.Spec.funcs
+  in
+  { t_calc_cycles; t_calls }
+
+(* the behaviour echoes a digest of its inputs so any marshalling slip shows *)
+let digest inputs =
+  List.fold_left
+    (fun acc (name, vals) ->
+      List.fold_left
+        (fun acc v ->
+          Int64.add (Int64.mul acc 1000003L)
+            (Int64.add v (Int64.of_int (String.length name))))
+        acc vals)
+    7L inputs
+
+let behavior ~calc_cycles _name =
+  {
+    Stub_model.calc_cycles = (fun _ -> calc_cycles);
+    compute = (fun inputs -> [ digest inputs ]);
+    write_back = (fun _ -> []);
+  }
+
+let expected_output (f : Spec.func) ~args =
+  match f.Spec.output with
+  | None -> []
+  | Some o ->
+      (* the stub saw sign-extended values of the declared types *)
+      let seen =
+        List.map
+          (fun (io : Spec.io) ->
+            let vals = List.assoc io.Spec.io_name args in
+            ( io.Spec.io_name,
+              if io.Spec.signed then List.map (sign_to io.Spec.io_width) vals
+              else vals ))
+          f.Spec.inputs
+      in
+      let d = mask_to o.Spec.io_width (digest seen) in
+      [ (if o.Spec.signed then sign_to o.Spec.io_width d else d) ]

@@ -1,0 +1,94 @@
+(** Reusable specification and traffic fuzzer.
+
+    Promoted out of [test/test_properties.ml] so tests, the benchmarks and
+    the [splice fuzz] CLI all draw random specifications, random traffic and
+    the golden digest model from one place. Everything is driven by an
+    explicit integer seed through a deterministic splitmix64 {!Rng}, so any
+    counterexample is reproducible from its seed alone — no hidden
+    [Random.self_init] state. *)
+
+open Splice_syntax
+
+(** Deterministic splitmix64 generator. Same seed, same stream, on every
+    platform — the property QCheck's [Random.State] does not give us. *)
+module Rng : sig
+  type t
+
+  val make : int -> t
+  val int : t -> int -> int
+  (** [int t bound] in [\[0, bound)]. [bound] must be positive. *)
+
+  val bool : t -> bool
+  val int64 : t -> int64
+  val choose : t -> 'a list -> 'a
+  (** Raises [Invalid_argument] on an empty list. *)
+
+  val split : t -> t
+  (** An independent child stream (advances the parent once). *)
+end
+
+(** The generator's view of a specification: close to the surface syntax, so
+    shrunk counterexamples render as something a user could have written. *)
+type gparam = {
+  g_ty : string;
+  g_ptr_count : int option;  (** [Some n] = pointer with explicit count [n] *)
+  g_packed : bool;
+  g_by_ref : bool;
+}
+
+type gfunc = {
+  g_name : string;
+  g_params : gparam list;
+  g_ret : [ `Void | `Nowait | `Scalar of string ];
+  g_instances : int;
+}
+
+type gspec = { g_bus : string; g_funcs : gfunc list; g_packing : bool }
+
+val spec : ?buses:string list -> Rng.t -> gspec
+(** A random specification targeting one of [buses] (default: every bus in
+    {!Splice_buses.Registry.names}). Always at least one function. *)
+
+val with_bus : gspec -> string -> gspec
+(** Retarget a generated spec at another bus — the differential matrix runs
+    the {e same} declaration on every backend (the thesis's Fig 9.2 claim). *)
+
+val render : gspec -> string
+(** Ch 3 surface syntax for the spec (parseable). *)
+
+val validate : gspec -> (Spec.t, string) result
+(** Render then run the full front end against the live bus registry. *)
+
+val shrink : gspec -> gspec list
+(** Structurally smaller candidates (fewer functions, fewer parameters,
+    scalarised pointers, fewer instances), largest reductions first. *)
+
+val pp : Format.formatter -> gspec -> unit
+(** The rendered source, for counterexample reports. *)
+
+(** {1 Random traffic + golden model} *)
+
+type call = {
+  c_func : string;
+  c_instance : int;
+  c_args : (string * int64 list) list;
+}
+
+type traffic = { t_calc_cycles : int; t_calls : call list }
+
+val traffic : Rng.t -> Spec.t -> traffic
+(** One random call per function (random instance, random argument
+    elements). Deterministic in (rng state, spec). *)
+
+val digest : (string * int64 list) list -> int64
+(** Order- and name-sensitive fold of a stub's inputs; any marshalling slip
+    (dropped word, swapped parameter, missed sign extension) changes it. *)
+
+val behavior : calc_cycles:int -> string -> Splice_sis.Stub_model.behavior
+(** The digest-echo behaviour used by every fuzz run: each function returns
+    [digest inputs] after [calc_cycles] calculation cycles. *)
+
+val expected_output : Spec.func -> args:(string * int64 list) list -> int64 list
+(** What {!behavior} must produce through the full marshalling path: the
+    digest of the sign-extended inputs, masked (and re-extended) to the
+    declared output type. [[]] for [void]/[nowait] functions. *)

@@ -62,6 +62,8 @@ module Opb = Splice_buses.Opb
 module Fcb = Splice_buses.Fcb
 module Apb = Splice_buses.Apb
 module Ahb = Splice_buses.Ahb
+module Wishbone = Splice_buses.Wishbone
+module Avalon = Splice_buses.Avalon
 
 (* drivers + CPU model (Ch 6) *)
 module Op = Splice_driver.Op
@@ -84,6 +86,11 @@ module Project = Splice_codegen.Project
 module Linuxgen = Splice_codegen.Linuxgen
 module C_lint = Splice_codegen.C_lint
 module Api = Splice_codegen.Api
+
+(* conformance checking: bus monitors, spec fuzzer, differential executor *)
+module Bus_monitor = Splice_check.Bus_monitor
+module Specgen = Splice_check.Specgen
+module Diff = Splice_check.Diff
 
 (* observability: metrics, spans, exporters *)
 module Obs = Splice_obs.Obs

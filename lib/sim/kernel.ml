@@ -224,6 +224,7 @@ let run_until ?(max = 100_000) ?(what = "condition") t p =
 let cycles t = t.cycle_count
 let obs t = t.obs
 let sched t = t.sched
+let check_names t = List.rev_map fst t.checks
 
 let stats t =
   {

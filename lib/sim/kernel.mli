@@ -101,5 +101,9 @@ val obs : t -> Splice_obs.Obs.t
 val sched : t -> sched
 (** The scheduler this kernel was created with. *)
 
+val check_names : t -> string list
+(** Names of the protocol checks registered so far, in registration order —
+    lets a harness report which monitors guarded a run. *)
+
 val stats : t -> stats
 (** Kernel-level counters, available without any exporter. *)

@@ -100,6 +100,17 @@ let () =
       && contains trace "\"ts\":");
   Sys.remove stats_file;
   Sys.remove trace_file;
+  (* fuzz: a short fixed-seed differential sweep must be clean, and the
+     reported seed must make the run reproducible *)
+  let rc, out = run "fuzz --seed 7 --count 3 -q" in
+  check "fuzz clean on a fixed seed" (fun () ->
+      rc = 0 && contains out "seed=7" && contains out "no protocol");
+  let rc, out = run "fuzz --seed 7 --count 2 --bus apb --sched event" in
+  check "fuzz restricted to one bus and scheduler" (fun () ->
+      rc = 0 && contains out "buses=apb" && contains out "scheds=event");
+  let rc, out = run "fuzz --bus nosuchbus" in
+  check "fuzz rejects unknown buses" (fun () ->
+      rc = 2 && contains out "unknown bus");
   (* clean up *)
   let dev = Filename.concat dir "hw_timer" in
   Array.iter (fun f -> Sys.remove (Filename.concat dev f)) (Sys.readdir dev);

@@ -1,0 +1,231 @@
+(* lib/check tests: per-bus protocol monitors (a deliberately violating
+   hand-built trace per bus must raise Check_failed, a clean interpolator
+   run per bus must not), Specgen determinism/validity/shrinking, and the
+   differential executor — including its ability to catch an injected bug. *)
+
+open Splice
+
+let t name f = Alcotest.test_case name `Quick f
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* -------- hand-built violating traces: monitors must catch bugs -------- *)
+
+let fresh_sis () = Sis_if.create ~bus_width:32 ~func_id_width:4 ~instances:3 ()
+
+(* drive the SIS lines directly (no adapter, no stubs): [drive] is a list of
+   per-cycle settings applied before each Kernel.cycle *)
+let play kernel sis trace =
+  List.iter
+    (fun settings ->
+      List.iter (fun f -> f sis) settings;
+      Kernel.cycle kernel)
+    trace
+
+let expect_violation bus trace =
+  let kernel = Kernel.create () in
+  let sis = fresh_sis () in
+  Bus_monitor.attach kernel ~bus sis;
+  match play kernel sis trace with
+  | () -> Alcotest.failf "%s: violating trace raised no Check_failed" bus
+  | exception Kernel.Check_failed { check; _ } ->
+      Signal.clear_pending ();
+      Alcotest.(check string) "check name" (bus ^ "-protocol") check
+
+let io_enable v (s : Sis_if.t) = Signal.set_bool s.Sis_if.io_enable v
+let div v (s : Sis_if.t) = Signal.set_bool s.Sis_if.data_in_valid v
+let dov v (s : Sis_if.t) = Signal.set_bool s.Sis_if.data_out_valid v
+let io_done v (s : Sis_if.t) = Signal.set_bool s.Sis_if.io_done v
+let fid v (s : Sis_if.t) = Signal.set_int s.Sis_if.func_id v
+let data v (s : Sis_if.t) = Signal.set s.Sis_if.data_in (Bits.of_int ~width:32 v)
+
+let violation_tests =
+  [
+    t "plb: RdAck with no read in flight is caught" (fun () ->
+        (* dataAck-before-addrAck ordering: DATA_OUT_VALID with no request *)
+        expect_violation "plb" [ [ dov true ] ]);
+    t "plb: WrAck with no write in flight is caught" (fun () ->
+        expect_violation "plb" [ [ io_done true ] ]);
+    t "opb: Sln_XferAck held two cycles is caught" (fun () ->
+        (* single-cycle acknowledge rule: a second back-to-back ack cycle *)
+        expect_violation "opb"
+          [ [ io_enable true; div true; fid 1; io_done true ]; [] ]);
+    t "fcb: register field changed mid-opcode is caught" (fun () ->
+        expect_violation "fcb"
+          [
+            [ io_enable true; div true; fid 2; data 5 ];
+            [ io_enable false; fid 3 ];
+          ]);
+    t "apb: slave wait state on a write is caught" (fun () ->
+        (* APB transfers cannot be paused: IO_DONE low in the access cycle *)
+        expect_violation "apb" [ [ io_enable true; div true; fid 1 ] ]);
+    t "apb: PENABLE held two cycles is caught" (fun () ->
+        (* setup->enable phasing: accesses need an idle cycle between them *)
+        expect_violation "apb" [ [ io_enable true; fid 1 ]; [] ]);
+    t "ahb: HWDATA changed during a wait-stated beat is caught" (fun () ->
+        expect_violation "ahb"
+          [
+            [ io_enable true; div true; fid 1; data 5 ];
+            [ io_enable false; data 6 ];
+          ]);
+    t "avalon: address changed under waitrequest is caught" (fun () ->
+        expect_violation "avalon"
+          [ [ io_enable true; fid 2 ]; [ io_enable false; fid 3 ] ]);
+    t "wishbone: ACK_O with no cycle in progress is caught" (fun () ->
+        expect_violation "wishbone" [ [ io_done true ] ]);
+    t "generic monitor guards user-registered buses" (fun () ->
+        (* a bus name outside the dedicated set falls back to the capability-
+           derived generic monitor, which still catches spurious acks *)
+        expect_violation "mystery" [ [ io_done true ] ]);
+    t "reset sanity: request strobed during reset is caught" (fun () ->
+        expect_violation "plb"
+          [ [ (fun s -> Signal.set_bool s.Sis_if.rst true); io_enable true ] ]);
+  ]
+
+(* -------- clean runs: monitors must stay silent on correct traffic ------ *)
+
+let clean_tests =
+  List.map
+    (fun bus ->
+      t (Printf.sprintf "clean interpolator run on %s passes all monitors" bus)
+        (fun () ->
+          let host = Interpolator.make_host_on_bus bus in
+          Bus_monitor.attach (Host.kernel host) ~bus (Host.sis host);
+          let scenario = Interp_scenarios.by_id 2 in
+          let result, cycles = Interpolator.run host scenario in
+          Alcotest.(check int64)
+            "matches software reference"
+            (Interpolator.reference (Interp_scenarios.inputs scenario))
+            result;
+          check_bool "cycles sane" true (cycles > 0);
+          check_bool "bus monitor attached" true
+            (List.mem (bus ^ "-protocol")
+               (Kernel.check_names (Host.kernel host)))))
+    (Registry.names ())
+
+(* -------- Specgen: determinism, validity, shrinking -------- *)
+
+let specgen_tests =
+  [
+    t "same seed, same spec and traffic" (fun () ->
+        let g1 = Specgen.spec (Specgen.Rng.make 1234) in
+        let g2 = Specgen.spec (Specgen.Rng.make 1234) in
+        Alcotest.(check string) "render" (Specgen.render g1) (Specgen.render g2);
+        let spec = Result.get_ok (Specgen.validate g1) in
+        let t1 = Specgen.traffic (Specgen.Rng.make 99) spec in
+        let t2 = Specgen.traffic (Specgen.Rng.make 99) spec in
+        check_bool "traffic deterministic" true (t1 = t2));
+    t "seeds 0..49 validate on their bus and on every other bus" (fun () ->
+        for seed = 0 to 49 do
+          let g = Specgen.spec (Specgen.Rng.make seed) in
+          List.iter
+            (fun bus ->
+              match Specgen.validate (Specgen.with_bus g bus) with
+              | Ok _ -> ()
+              | Error e -> Alcotest.failf "seed %d bus %s: %s" seed bus e)
+            (Registry.names ())
+        done);
+    t "shrink candidates are smaller and still validate" (fun () ->
+        let g = Specgen.spec (Specgen.Rng.make 7) in
+        let size g =
+          List.fold_left
+            (fun acc (f : Specgen.gfunc) ->
+              acc + 1 + f.Specgen.g_instances + List.length f.Specgen.g_params)
+            0 g.Specgen.g_funcs
+        in
+        List.iter
+          (fun g' ->
+            check_bool "structurally no larger" true (size g' <= size g);
+            check_bool "renders differently" true
+              (Specgen.render g' <> Specgen.render g);
+            check_bool "validates" true
+              (Result.is_ok (Specgen.validate g')))
+          (Specgen.shrink g));
+  ]
+
+(* -------- differential executor -------- *)
+
+let diff_tests =
+  [
+    t "fixed-seed differential sweep is clean on all registered buses" (fun () ->
+        let report =
+          Diff.run { Diff.default_config with seed = 7; count = 3 }
+        in
+        (match report.Diff.r_failure with
+        | None -> ()
+        | Some f ->
+            Alcotest.fail
+              (Format.asprintf "unexpected failure: %a" Diff.pp_failure f));
+        check_int "3 iterations" 3 report.Diff.r_iterations;
+        check_bool "calls executed" true (report.Diff.r_calls > 0));
+    t "every registered bus participates in the matrix" (fun () ->
+        let report =
+          Diff.run { Diff.default_config with seed = 1; count = 1 }
+        in
+        Alcotest.(check (list string))
+          "matrix = Registry.names ()" (Registry.names ()) report.Diff.r_buses;
+        List.iter
+          (fun b -> check_bool (b ^ " enumerable") true (List.mem b report.Diff.r_buses))
+          [ "plb"; "opb"; "fcb"; "apb"; "ahb"; "wishbone"; "avalon" ]);
+    t "iteration_seed 0 is the base seed (repro contract)" (fun () ->
+        check_int "identity at 0" 42 (Diff.iteration_seed 42 0);
+        check_bool "distinct later" true
+          (Diff.iteration_seed 42 1 <> Diff.iteration_seed 42 2));
+    t "registry exposes every adapter module" (fun () ->
+        check_int "all = names" (List.length (Registry.names ()))
+          (List.length (Registry.all ()));
+        List.iter
+          (fun (module B : Bus.S) ->
+            check_bool "find round-trips" true
+              (Registry.find (Bus.name (module B)) <> None))
+          (Registry.all ()));
+    t "a data-corrupting bus is caught and shrunk" (fun () ->
+        (* self-test of the whole loop: register a bus whose port flips the
+           low bit of every word it reads back, fuzz it, and require a
+           golden-model failure with a reproducible counterexample *)
+        let module Buggy = struct
+          include Plb
+
+          let caps = { Plb.caps with Bus_caps.name = "buggy" }
+
+          let connect kernel spec sis =
+            let port = Plb.connect kernel spec sis in
+            {
+              port with
+              Bus_port.bus_name = "buggy";
+              result =
+                (fun () ->
+                  List.map
+                    (fun w -> Bits.logxor w (Bits.of_int ~width:(Bits.width w) 1))
+                    (port.Bus_port.result ()));
+            }
+        end in
+        Registry.register (module Buggy);
+        Fun.protect
+          ~finally:(fun () -> Registry.unregister "buggy")
+          (fun () ->
+            let report =
+              Diff.run
+                { Diff.default_config with seed = 5; count = 20; buses = [ "buggy" ] }
+            in
+            match report.Diff.r_failure with
+            | None -> Alcotest.fail "corrupting bus survived the fuzz loop"
+            | Some f ->
+                Alcotest.(check string) "failing bus" "buggy" f.Diff.f_bus;
+                check_bool "repro command names the seed" true
+                  (Diff.repro_command f
+                  = Printf.sprintf "splice fuzz --seed %d --count 1 --bus buggy"
+                      f.Diff.f_seed);
+                (* the shrunk spec still reproduces and is minimal enough to
+                   read: a handful of functions at most *)
+                check_bool "shrunk spec is small" true
+                  (List.length f.Diff.f_spec.Specgen.g_funcs <= 2)));
+  ]
+
+let tests =
+  [
+    ("check.monitor-violations", violation_tests);
+    ("check.monitor-clean", clean_tests);
+    ("check.specgen", specgen_tests);
+    ("check.diff", diff_tests);
+  ]

@@ -1,124 +1,67 @@
 (* Cross-cutting property tests: randomly generated specifications survive
    print/re-parse, validate consistently, generate marker-free HDL, and —
    the big one — random data pushed through a random function on a random
-   bus comes back exactly as the golden behaviour computed it. *)
+   bus comes back exactly as the golden behaviour computed it.
+
+   Spec/traffic generation and the golden digest model live in
+   [Splice.Specgen] (shared with the [splice fuzz] differential harness);
+   this file wires them into QCheck. The QCheck run seed is printed on
+   start-up and can be pinned with the QCHECK_SEED environment variable, so
+   any failing run reproduces exactly:
+
+     QCHECK_SEED=123456 dune runtest *)
 
 open Splice
 
+let seed =
+  match Sys.getenv_opt "QCHECK_SEED" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n -> n
+      | None -> failwith "QCHECK_SEED must be an integer")
+  | None ->
+      Random.self_init ();
+      Random.bits ()
+
+let () =
+  Printf.printf "properties: QCHECK_SEED=%d (export to reproduce this run)\n%!"
+    seed
+
+(* every property draws from its own state seeded identically, so tests
+   reproduce individually and their order does not matter *)
 let prop ?(count = 60) name arb f =
-  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb f)
+  QCheck_alcotest.to_alcotest
+    ~rand:(Random.State.make [| seed |])
+    (QCheck.Test.make ~count ~name arb f)
 
-(* -------- random specification generator -------- *)
+(* -------- Specgen wired into QCheck -------- *)
 
-type gparam = {
-  g_ty : string;
-  g_ptr_count : int option;  (* Some n = pointer with explicit count n *)
-  g_packed : bool;
-  g_by_ref : bool;
-}
-
-type gfunc = {
-  g_name : string;
-  g_params : gparam list;
-  g_ret : [ `Void | `Nowait | `Scalar of string ];
-  g_instances : int;
-}
-
-type gspec = { g_bus : string; g_funcs : gfunc list; g_packing : bool }
-
-let gen_ty = QCheck.Gen.oneofl [ "char"; "short"; "int"; "unsigned"; "double" ]
-
-let gen_param i =
-  QCheck.Gen.(
-    gen_ty >>= fun ty ->
-    oneof [ return None; map (fun n -> Some (1 + (n mod 6))) small_nat ]
-    >>= fun ptr ->
-    bool >>= fun packed ->
-    bool >>= fun by_ref ->
-    return
-      {
-        g_ty = ty;
-        g_ptr_count = ptr;
-        g_packed = packed && ptr <> None && ty = "char";
-        g_by_ref = by_ref && ptr <> None && not (packed && ty = "char");
-      }
-    >|= fun p -> (i, p))
-
-let gen_func i =
-  QCheck.Gen.(
-    int_range 0 3 >>= fun nparams ->
-    List.init nparams (fun j -> gen_param j) |> flatten_l >>= fun params ->
-    oneofl [ `Void; `Nowait; `Scalar "int"; `Scalar "char"; `Scalar "double" ]
-    >>= fun ret ->
-    int_range 1 3 >>= fun instances ->
-    let params = List.map snd params in
-    (* '&' write-backs need synchronisation: strip them on nowait funcs *)
-    let params =
-      if ret = `Nowait then
-        List.map (fun p -> { p with g_by_ref = false }) params
-      else params
-    in
-    return
-      {
-        g_name = Printf.sprintf "fn_%d" i;
-        g_params = params;
-        g_ret = ret;
-        g_instances = instances;
-      })
-
+(* one int of QCheck randomness seeds a deterministic Specgen stream; the
+   printed counterexample is the rendered spec itself *)
 let gen_spec =
   QCheck.Gen.(
-    oneofl [ "plb"; "opb"; "fcb"; "apb"; "ahb" ] >>= fun bus ->
-    int_range 1 4 >>= fun nfuncs ->
-    bool >>= fun packing ->
-    List.init nfuncs gen_func |> flatten_l >>= fun funcs ->
-    return { g_bus = bus; g_funcs = funcs; g_packing = packing })
+    map (fun n -> Specgen.spec (Specgen.Rng.make n)) (int_bound 0x3FFFFFFF))
 
-let render_spec g =
-  let buf = Buffer.create 256 in
-  Buffer.add_string buf "%device_name randomdev\n";
-  Buffer.add_string buf (Printf.sprintf "%%bus_type %s\n%%bus_width 32\n" g.g_bus);
-  Buffer.add_string buf "%base_address 0x80000000\n";
-  if g.g_packing then Buffer.add_string buf "%packing_support true\n";
-  List.iter
-    (fun f ->
-      let ret =
-        match f.g_ret with `Void -> "void" | `Nowait -> "nowait" | `Scalar ty -> ty
-      in
-      let params =
-        List.mapi
-          (fun i p ->
-            match p.g_ptr_count with
-            | None -> Printf.sprintf "%s p%d" p.g_ty i
-            | Some n ->
-                Printf.sprintf "%s*:%d%s%s p%d" p.g_ty n
-                  (if p.g_packed then "+" else "")
-                  (if p.g_by_ref then "&" else "")
-                  i)
-          f.g_params
-      in
-      Buffer.add_string buf
-        (Printf.sprintf "%s %s(%s)%s;\n" ret f.g_name (String.concat ", " params)
-           (if f.g_instances > 1 then Printf.sprintf ":%d" f.g_instances else "")))
-    g.g_funcs;
-  Buffer.contents buf
-
-let arb_spec = QCheck.make ~print:render_spec gen_spec
-
-let validated g =
-  Validate.of_string ~lookup_bus:Registry.lookup_caps (render_spec g)
+let shrink_spec g = QCheck.Iter.of_list (Specgen.shrink g)
+let arb_spec = QCheck.make ~print:Specgen.render ~shrink:shrink_spec gen_spec
 
 let spec_props =
   [
-    prop ~count:120 "random specs validate" arb_spec (fun g ->
-        match validated g with Ok _ -> true | Error _ -> false);
+    prop ~count:120 "random specs validate on every registered bus" arb_spec
+      (fun g ->
+        List.for_all
+          (fun bus ->
+            match Specgen.validate (Specgen.with_bus g bus) with
+            | Ok _ -> true
+            | Error _ -> false)
+          (Registry.names ()));
     prop ~count:120 "parse -> print -> parse is stable" arb_spec (fun g ->
-        let src = render_spec g in
+        let src = Specgen.render g in
         let ast = Parser.parse_file src in
         let printed = Format.asprintf "%a" Ast.pp_file ast in
         Parser.parse_file printed = ast);
     prop ~count:60 "generated HDL has no leftover markers" arb_spec (fun g ->
-        match validated g with
+        match Specgen.validate g with
         | Error _ -> false
         | Ok spec ->
             let p = Project.generate ~gen_date:"prop" spec in
@@ -128,7 +71,7 @@ let spec_props =
                 || Template.markers_in f.contents = [])
               (Project.files p));
     prop ~count:40 "generated VHDL lints clean" arb_spec (fun g ->
-        match validated g with
+        match Specgen.validate g with
         | Error _ -> false
         | Ok spec ->
             let p = Project.generate ~gen_date:"prop" spec in
@@ -138,7 +81,7 @@ let spec_props =
                 || Vhdl_lint.lint f.contents = [])
               (Project.files p));
     prop ~count:60 "every generated stub design validates" arb_spec (fun g ->
-        match validated g with
+        match Specgen.validate g with
         | Error _ -> false
         | Ok spec ->
             List.for_all
@@ -149,79 +92,46 @@ let spec_props =
 
 (* -------- random end-to-end loopback -------- *)
 
-(* the behaviour echoes a digest of its inputs so any marshalling slip shows *)
-let digest inputs =
-  List.fold_left
-    (fun acc (name, vals) ->
-      List.fold_left
-        (fun acc v ->
-          Int64.add (Int64.mul acc 1000003L) (Int64.add v (Int64.of_int (String.length name))))
-        acc vals)
-    7L inputs
-
-let mask_to width v =
-  if width >= 64 then v else Int64.logand v (Int64.sub (Int64.shift_left 1L width) 1L)
-
-let sign_to width v = List.hd (Plan.sign_extend_elems ~elem_width:width ~signed:true [ mask_to width v ])
+(* Specgen's traffic generator and digest-echo behaviour (the same golden
+   model the differential fuzzer asserts): any marshalling slip — dropped
+   word, swapped parameter, missed sign extension — changes the digest *)
 
 let arb_loopback =
   QCheck.make
-    ~print:(fun (g, seed) -> Printf.sprintf "%s (seed %d)" (render_spec g) seed)
+    ~print:(fun (g, tseed) ->
+      Printf.sprintf "%s (traffic seed %d)" (Specgen.render g) tseed)
+    ~shrink:(fun (g, tseed) ->
+      QCheck.Iter.of_list (List.map (fun g' -> (g', tseed)) (Specgen.shrink g)))
     QCheck.Gen.(pair gen_spec small_nat)
 
-let loopback_prop (g, seed) =
-  match validated g with
+let loopback_prop (g, tseed) =
+  match Specgen.validate g with
   | Error _ -> false
-  | Ok spec -> (
+  | Ok spec ->
+      let tr = Specgen.traffic (Specgen.Rng.make tseed) spec in
       let host =
-        Host.create spec ~behaviors:(fun _ ->
-            {
-              Stub_model.calc_cycles = (fun _ -> 1 + (seed mod 4));
-              compute = (fun inputs -> [ digest inputs ]);
-              write_back = (fun _ -> []);
-            })
+        Host.create spec
+          ~behaviors:
+            (Specgen.behavior ~calc_cycles:tr.Specgen.t_calc_cycles)
       in
-      (* rewrite every function to return its digest: only functions with an
-         int output can be checked end to end; others just run *)
       List.for_all
-        (fun (f : Spec.func) ->
-          let args =
-            List.map
-              (fun (io : Spec.io) ->
-                let elems = Spec.io_elem_count io ~values:(fun _ -> 1) in
-                ( io.Spec.io_name,
-                  List.init elems (fun i ->
-                      mask_to io.Spec.io_width
-                        (Int64.of_int ((seed + 13) * (i + 3) * 2654435761))) ))
-              f.Spec.inputs
+        (fun (c : Specgen.call) ->
+          let f =
+            List.find
+              (fun (f : Spec.func) -> f.Spec.name = c.Specgen.c_func)
+              spec.Spec.funcs
           in
-          let instance = (seed + f.Spec.func_id) mod f.Spec.instances in
-          match Host.call ~instance host ~func:f.Spec.name ~args with
-          | result, cycles -> (
+          match
+            Host.call ~instance:c.Specgen.c_instance host
+              ~func:c.Specgen.c_func ~args:c.Specgen.c_args
+          with
+          | result, cycles ->
               cycles > 0
-              &&
-              match f.Spec.output with
-              | None -> result = []
-              | Some o ->
-                  let expected =
-                    (* the stub saw sign-extended values of the declared types *)
-                    let seen =
-                      List.map
-                        (fun (io : Spec.io) ->
-                          let vals = List.assoc io.Spec.io_name args in
-                          ( io.Spec.io_name,
-                            if io.Spec.signed then
-                              List.map (sign_to io.Spec.io_width) vals
-                            else vals ))
-                        f.Spec.inputs
-                    in
-                    let d = mask_to o.Spec.io_width (digest seen) in
-                    if o.Spec.signed then sign_to o.Spec.io_width d else d
-                  in
-                  result = [ expected ])
+              && result = Specgen.expected_output f ~args:c.Specgen.c_args
           | exception e ->
-              QCheck.Test.fail_reportf "%s: %s" f.Spec.name (Printexc.to_string e))
-        spec.Spec.funcs)
+              QCheck.Test.fail_reportf "%s: %s" c.Specgen.c_func
+                (Printexc.to_string e))
+        tr.Specgen.t_calls
 
 (* -------- robustness fuzzing -------- *)
 
@@ -242,7 +152,7 @@ let verilog_props =
   [
     prop ~count:40 "Verilog output generates for random specs (§10.2)" arb_spec
       (fun g ->
-        match validated g with
+        match Specgen.validate g with
         | Error _ -> false
         | Ok spec ->
             let spec = { spec with Spec.hdl = Ast.Verilog } in
@@ -278,7 +188,10 @@ let fuzz_props =
   ]
 
 let loopback_props =
-  [ prop ~count:60 "random data loopback through random peripherals" arb_loopback loopback_prop ]
+  [
+    prop ~count:60 "random data loopback through random peripherals"
+      arb_loopback loopback_prop;
+  ]
 
 let tests =
   [
