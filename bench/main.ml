@@ -17,7 +17,7 @@ open Toolkit
 (* Part 1: paper tables                                                *)
 (* ------------------------------------------------------------------ *)
 
-let part1 () = print_string (Splice.Tables.everything ())
+let part1 pool = print_string (Splice.Tables.everything ?pool ())
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel micro-benchmarks                                   *)
@@ -137,14 +137,17 @@ let benchmarks =
     bench_cycles_instrumented;
   ]
 
-let run_bechamel () =
+(* Timing itself stays sequential even under -j: concurrent domains on the
+   same cores would perturb every estimate. Returns (name, ns/run) rows. *)
+let run_bechamel ~quota =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
   in
   let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) () in
   Printf.printf "\n== Tool-speed micro-benchmarks (E7, §10.1) ==\n\n";
   Printf.printf "%-44s %14s\n" "benchmark" "time/run";
+  let rows = ref [] in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg instances test in
@@ -153,6 +156,7 @@ let run_bechamel () =
         (fun name ols_result ->
           match Analyze.OLS.estimates ols_result with
           | Some [ est ] ->
+              rows := (name, est) :: !rows;
               let pretty =
                 if est > 1e6 then Printf.sprintf "%8.3f ms" (est /. 1e6)
                 else if est > 1e3 then Printf.sprintf "%8.3f us" (est /. 1e3)
@@ -161,15 +165,57 @@ let run_bechamel () =
               Printf.printf "%-44s %14s\n" name pretty
           | _ -> Printf.printf "%-44s %14s\n" name "n/a")
         results)
-    benchmarks
+    benchmarks;
+  List.rev !rows
 
+let write_json path ~quick ~jobs rows =
+  Splice.Export.write_file path
+    (Splice.Json.to_string
+       (Obj
+          [
+            ("quick", Bool quick);
+            ("jobs", Int jobs);
+            ( "benchmarks",
+              List
+                (List.map
+                   (fun (name, ns) ->
+                     Splice.Json.Obj
+                       [ ("name", String name); ("ns_per_run", Float ns) ])
+                   rows) );
+          ]));
+  Printf.printf "wrote kernel benchmark summary to %s\n" path
+
+(* flags: --quick (CI smoke: tables + short-quota timings only with --json),
+   --json FILE, -j N / --jobs N *)
 let () =
-  (* --quick: part-1 tables only, as a CI smoke for table-generation
-     regressions (the Bechamel timings are meaningless on shared runners) *)
-  let quick = Array.exists (String.equal "--quick") Sys.argv in
-  part1 ();
+  let argv = Sys.argv in
+  let quick = Array.exists (String.equal "--quick") argv in
+  let value_of flag =
+    let r = ref None in
+    Array.iteri
+      (fun i a ->
+        if (a = flag || a = "--jobs" && flag = "-j") && i + 1 < Array.length argv
+        then r := Some argv.(i + 1))
+      argv;
+    !r
+  in
+  let json = value_of "--json" in
+  let jobs =
+    match value_of "-j" with
+    | Some s -> ( match int_of_string_opt s with Some n -> n | None -> 1)
+    | None -> 1
+  in
+  let pool = Splice.Pool.of_jobs jobs in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Splice.Pool.shutdown pool)
+    (fun () -> part1 pool);
+  (* full runs always time; quick runs only when a JSON report is wanted,
+     with a short quota (absolute numbers are smoke-grade there) *)
+  if (not quick) || json <> None then begin
+    let rows = run_bechamel ~quota:(if quick then 0.05 else 0.5) in
+    Option.iter (fun path -> write_json path ~quick ~jobs rows) json
+  end;
   if not quick then begin
-    run_bechamel ();
     print_newline ();
     print_endline
       "All figures above correspond to the per-experiment index in DESIGN.md;";

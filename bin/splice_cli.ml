@@ -35,6 +35,22 @@ let spec_arg =
     & pos 0 (some file) None
     & info [] ~docv:"SPEC" ~doc:"Splice specification file (Ch 3 syntax).")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Executors to run grid cells on: 1 is strictly sequential, 0 \
+           picks one per available core, N>1 uses a pool of N. Results are \
+           bit-identical at any value.")
+
+(* [f] receives the pool ([None] = sequential); shutdown is guaranteed *)
+let with_jobs jobs f =
+  let pool = Splice.Pool.of_jobs jobs in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Splice.Pool.shutdown pool)
+    (fun () -> f pool)
+
 (* ------------------------------------------------------------------ *)
 
 let check_cmd =
@@ -231,8 +247,9 @@ let eval_cmd =
              track; timestamps in bus-clock cycles). Open at \
              chrome://tracing or ui.perfetto.dev.")
   in
-  let run stats trace =
-    print_string (Splice.Tables.everything ());
+  let run stats trace jobs =
+    with_jobs jobs (fun pool ->
+        print_string (Splice.Tables.everything ?pool ()));
     match (stats, trace) with
     | None, None -> 0
     | _ -> (
@@ -266,7 +283,7 @@ let eval_cmd =
           With $(b,--stats) and/or $(b,--trace), additionally re-run the \
           Fig 9.2 measurement with the observability layer attached and \
           export the results.")
-    Term.(const run $ stats $ trace)
+    Term.(const run $ stats $ trace $ jobs_arg)
 
 let fuzz_cmd =
   let seed =
@@ -304,7 +321,16 @@ let fuzz_cmd =
   let quiet =
     Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress per-iteration progress.")
   in
-  let run seed count bus sched quiet =
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write a machine-readable summary of the sweep (seed, matrix, \
+             calls, throughput, digest) as JSON, e.g. BENCH_fuzz.json.")
+  in
+  let run seed count bus sched quiet jobs json =
     let seed =
       match seed with
       | Some s -> s
@@ -326,12 +352,53 @@ let fuzz_cmd =
       | (`Event | `Sweep) as s -> [ s ]
     in
     let config = { Splice.Diff.default_config with seed; count; buses; scheds } in
-    Printf.printf "splice fuzz: seed=%d count=%d buses=%s scheds=%s\n%!" seed count
+    Printf.printf "splice fuzz: seed=%d count=%d buses=%s scheds=%s jobs=%d\n%!"
+      seed count
       (String.concat ","
          (match buses with [] -> Splice.Registry.names () | b -> b))
-      (String.concat "," (List.map Splice.Diff.sched_name scheds));
+      (String.concat "," (List.map Splice.Diff.sched_name scheds))
+      jobs;
     let log = if quiet then ignore else fun line -> Printf.printf "  %s\n%!" line in
-    let report = Splice.Diff.run ~log config in
+    let t0 = Unix.gettimeofday () in
+    let report = with_jobs jobs (fun pool -> Splice.Diff.run ~log ?pool config) in
+    let wall = Unix.gettimeofday () -. t0 in
+    let cells =
+      report.Splice.Diff.r_iterations * List.length report.Splice.Diff.r_buses
+    in
+    let ok = report.Splice.Diff.r_failure = None in
+    Option.iter
+      (fun path ->
+        let safe_rate n = if wall > 0. then float_of_int n /. wall else 0. in
+        Splice.Export.write_file path
+          (Splice.Json.to_string
+             (Obj
+                [
+                  ("seed", Int seed);
+                  ("count", Int count);
+                  ("jobs", Int jobs);
+                  ( "buses",
+                    List
+                      (List.map
+                         (fun b -> Splice.Json.String b)
+                         report.Splice.Diff.r_buses) );
+                  ( "scheds",
+                    List
+                      (List.map
+                         (fun s ->
+                           Splice.Json.String (Splice.Diff.sched_name s))
+                         scheds) );
+                  ("iterations", Int report.Splice.Diff.r_iterations);
+                  ("calls", Int report.Splice.Diff.r_calls);
+                  ("wall_s", Float wall);
+                  ("specs_per_sec", Float (safe_rate report.Splice.Diff.r_iterations));
+                  ("cells_per_sec", Float (safe_rate cells));
+                  ( "digest",
+                    String (Printf.sprintf "0x%016Lx" report.Splice.Diff.r_digest)
+                  );
+                  ("ok", Bool ok);
+                ]));
+        Printf.printf "wrote fuzz summary to %s\n" path)
+      json;
     match report.Splice.Diff.r_failure with
     | None ->
         Printf.printf
@@ -340,6 +407,7 @@ let fuzz_cmd =
           report.Splice.Diff.r_iterations
           (List.length report.Splice.Diff.r_buses)
           report.Splice.Diff.r_calls;
+        Printf.printf "digest 0x%016Lx\n" report.Splice.Diff.r_digest;
         0
     | Some f ->
         Format.eprintf "%a@." Splice.Diff.pp_failure f;
@@ -353,7 +421,7 @@ let fuzz_cmd =
           schedulers, with all protocol monitors attached, asserting \
           golden-model data equality and scheduler cycle-count agreement. \
           Prints a reproduction command on failure.")
-    Term.(const run $ seed $ count $ bus $ sched $ quiet)
+    Term.(const run $ seed $ count $ bus $ sched $ quiet $ jobs_arg $ json)
 
 let () =
   let info =

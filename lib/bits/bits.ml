@@ -5,8 +5,13 @@ exception Invalid_width of int
 
 let max_width = 64
 
-let mask w =
-  if w >= 64 then -1L else Int64.sub (Int64.shift_left 1L w) 1L
+(* [mask] sits on the hottest path of every signal commit (every [create]
+   runs it), so the 64 shift/sub results are precomputed once into an
+   immutable table instead of recomputed per call *)
+let mask_table =
+  Array.init 64 (fun w -> Int64.sub (Int64.shift_left 1L w) 1L)
+
+let mask w = if w >= 64 then -1L else Array.get mask_table w
 
 let check_width w = if w < 1 || w > max_width then raise (Invalid_width w)
 

@@ -29,13 +29,50 @@ type report = {
   r_calls : int;
   r_buses : string list;
   r_failure : failure option;
+  r_digest : int64;
 }
 
 let sched_name = function `Event -> "event" | `Sweep -> "sweep"
 
-(* [iteration_seed s 0 = s] so the repro command (--seed S --count 1)
+(* Per-iteration seeds come from splitmix64 seed-splitting of the root
+   seed: every (spec, bus) task derives all of its randomness from
+   [iteration_seed] alone, so the grid is bit-identical at any [-j].
+   [iteration_seed s 0 = s] so the repro command (--seed S --count 1)
    regenerates exactly the failing spec and traffic. *)
-let iteration_seed seed i = (seed + (i * 0x27d4eb2f)) land max_int
+let iteration_seed = Splice_par.Splitmix.split_seed
+
+(* ---- result digest -------------------------------------------------
+   A deterministic fold over everything the sweep observed (per-call
+   cycle counts per bus per scheduler, and the failure if any), in
+   canonical (iteration, bus) order. Because the fold happens in the
+   orchestrator after the parallel map, the digest — like the rest of
+   the report — is byte-identical at every worker count. *)
+
+let mix acc v =
+  Splice_par.Splitmix.mix64
+    (Int64.add (Int64.mul acc 0x9E3779B97F4A7C15L) v)
+
+let mix_string acc s =
+  String.fold_left (fun a c -> mix a (Int64.of_int (Char.code c))) acc s
+
+let digest_cell acc ~iteration ~bus runs =
+  let acc = mix acc (Int64.of_int iteration) in
+  let acc = mix_string acc bus in
+  List.fold_left
+    (fun acc (s, cs) ->
+      let acc = mix_string acc (sched_name s) in
+      List.fold_left
+        (fun acc (f, c) -> mix (mix_string acc f) (Int64.of_int c))
+        acc cs)
+    acc runs
+
+let digest_failure acc f =
+  let acc = mix acc (Int64.of_int f.f_iteration) in
+  let acc = mix_string acc f.f_bus in
+  let acc = mix_string acc (sched_name f.f_sched) in
+  let acc = mix_string acc (Option.value ~default:"" f.f_func) in
+  let acc = mix_string acc f.f_message in
+  mix_string acc (Specgen.render f.f_spec)
 
 (* traffic is derived from a fixed offset of the iteration seed, not from
    the spec generator's final state — so a shrunk spec keeps deterministic
@@ -53,6 +90,10 @@ let exec ~max_cycles ~iseed g bus sched =
   | Ok spec -> (
       let tr = traffic_for iseed spec in
       let run () =
+        (* one isolated simulation per run: restart the domain-local
+           default-name counter so any sigN in a failure message is a
+           function of this run alone, not of pool scheduling *)
+        Signal.reset_names ();
         let host =
           Host.create ~sched spec
             ~behaviors:(Specgen.behavior ~calc_cycles:tr.Specgen.t_calc_cycles)
@@ -188,7 +229,16 @@ let shrink_failure ~max_cycles ~iseed ~bus ~scheds g =
   in
   go g
 
-let run ?(log = ignore) config =
+(* The grid: config.count iterations × the bus matrix, each (spec, bus)
+   cell an independent task — its own spec regeneration (cheap,
+   deterministic in [iteration_seed]), its own kernels, monitors and
+   domain-local signal store. Cells fan out over the pool in chunks;
+   after each chunk the orchestrator folds the results in canonical
+   (iteration, bus) order, reproducing the sequential report — counts,
+   log lines, first failure and digest — byte for byte. With no pool (or
+   a 0-worker pool) the map degenerates to [Array.map]: the exact
+   sequential path. Shrinking always runs in the orchestrator's domain. *)
+let run ?(log = ignore) ?pool config =
   let buses =
     match config.buses with [] -> Registry.names () | buses -> buses
   in
@@ -197,47 +247,93 @@ let run ?(log = ignore) config =
       if Registry.find b = None then
         failwith (Printf.sprintf "Diff.run: unknown bus %S" b))
     buses;
+  let nbuses = List.length buses in
+  let buses_arr = Array.of_list buses in
+  let map f arr =
+    match pool with
+    | None -> Array.map f arr
+    | Some p -> Splice_par.Pool.map_ordered p f arr
+  in
+  (* chunked early exit: big enough to keep every executor busy, small
+     enough that a failing sweep does not run all [count] iterations *)
+  let chunk_iters =
+    match pool with
+    | None -> 1
+    | Some p ->
+        max 1 (((4 * Splice_par.Pool.size p) + nbuses - 1) / nbuses)
+  in
   let calls = ref 0 in
   let failure = ref None in
+  let iterations = ref 0 in
+  let digest =
+    ref
+      (mix
+         (mix 0x53504C4943455F44L (* "SPLICE_D" *) (Int64.of_int config.seed))
+         (Int64.of_int config.count))
+  in
   let i = ref 0 in
   while !failure = None && !i < config.count do
-    let iseed = iteration_seed config.seed !i in
-    (* generate once with a throwaway bus; the matrix overrides it *)
-    let g = Specgen.spec ~buses (Specgen.Rng.make iseed) in
-    let rec over_buses = function
-      | [] -> ()
-      | bus :: rest -> (
-          match exec_bus ~max_cycles:config.max_cycles ~iseed g bus config.scheds with
+    let hi = min config.count (!i + chunk_iters) in
+    let cells =
+      Array.init
+        ((hi - !i) * nbuses)
+        (fun k -> (!i + (k / nbuses), buses_arr.(k mod nbuses)))
+    in
+    let results =
+      map
+        (fun (it, bus) ->
+          let iseed = iteration_seed config.seed it in
+          (* generate with a throwaway bus; the matrix overrides it *)
+          let g = Specgen.spec ~buses (Specgen.Rng.make iseed) in
+          ( it,
+            iseed,
+            bus,
+            g,
+            exec_bus ~max_cycles:config.max_cycles ~iseed g bus config.scheds
+          ))
+        cells
+    in
+    Array.iter
+      (fun (it, iseed, bus, g, res) ->
+        if !failure = None then
+          match res with
           | Ok runs ->
               List.iter (fun (_, c) -> calls := !calls + List.length c) runs;
-              over_buses rest
+              digest := digest_cell !digest ~iteration:it ~bus runs;
+              if bus = buses_arr.(nbuses - 1) then begin
+                iterations := it + 1;
+                log
+                  (Printf.sprintf
+                     "iteration %d/%d (seed %d): %d buses x %d schedulers ok"
+                     (it + 1) config.count iseed nbuses
+                     (List.length config.scheds))
+              end
           | Error (sched, func, msg) ->
               let g', (sched', func', msg') =
                 shrink_failure ~max_cycles:config.max_cycles ~iseed ~bus
                   ~scheds:config.scheds g (sched, func, msg)
               in
-              failure :=
-                Some
-                  {
-                    f_iteration = !i;
-                    f_seed = iseed;
-                    f_bus = bus;
-                    f_sched = sched';
-                    f_func = func';
-                    f_message = msg';
-                    f_spec = g';
-                  })
-    in
-    over_buses buses;
-    incr i;
-    if !failure = None then
-      log
-        (Printf.sprintf "iteration %d/%d (seed %d): %d buses x %d schedulers ok"
-           !i config.count iseed (List.length buses) (List.length config.scheds))
+              let f =
+                {
+                  f_iteration = it;
+                  f_seed = iseed;
+                  f_bus = bus;
+                  f_sched = sched';
+                  f_func = func';
+                  f_message = msg';
+                  f_spec = g';
+                }
+              in
+              iterations := it + 1;
+              digest := digest_failure !digest f;
+              failure := Some f)
+      results;
+    i := hi
   done;
   {
-    r_iterations = !i;
+    r_iterations = !iterations;
     r_calls = !calls;
     r_buses = buses;
     r_failure = !failure;
+    r_digest = !digest;
   }

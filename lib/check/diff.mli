@@ -44,14 +44,22 @@ type report = {
   r_calls : int;  (** total (call × bus × scheduler) executions checked *)
   r_buses : string list;  (** the matrix actually exercised *)
   r_failure : failure option;  (** first failure, after shrinking *)
+  r_digest : int64;
+      (** deterministic fold of every per-call cycle count observed (and
+          the failure, if any), in canonical (iteration, bus) order —
+          byte-identical at every [-j] for the same config *)
 }
 
-val run : ?log:(string -> unit) -> config -> report
-(** Stops at the first failure. [log] receives one progress line per
-    iteration. *)
+val run : ?log:(string -> unit) -> ?pool:Splice_par.Pool.t -> config -> report
+(** Stops at the first failure (in canonical (iteration, bus) order — the
+    same cell the sequential sweep would report). [log] receives one
+    progress line per iteration. [pool] fans the independent (spec, bus)
+    cells out over its domains; every field of the report, the shrunk
+    counterexample included, is bit-identical with and without a pool. *)
 
 val iteration_seed : int -> int -> int
-(** [iteration_seed seed i]: the derived seed of iteration [i];
+(** [iteration_seed seed i]: the derived per-task seed of iteration [i]
+    (splitmix64 seed-splitting, {!Splice_par.Splitmix.split_seed});
     [iteration_seed s 0 = s], so a reported seed reproduces with
     [--count 1]. *)
 

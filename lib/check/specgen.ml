@@ -2,43 +2,10 @@ open Splice_syntax
 open Splice_buses
 open Splice_sis
 
-(* -------- deterministic PRNG (splitmix64) -------- *)
-
-module Rng = struct
-  type t = { mutable state : int64 }
-
-  let gamma = 0x9E3779B97F4A7C15L
-
-  let make seed = { state = Int64.of_int seed }
-
-  let next t =
-    t.state <- Int64.add t.state gamma;
-    let z = t.state in
-    let z =
-      Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
-        0xBF58476D1CE4E5B9L
-    in
-    let z =
-      Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
-        0x94D049BB133111EBL
-    in
-    Int64.logxor z (Int64.shift_right_logical z 31)
-
-  let int64 t = next t
-
-  let int t bound =
-    if bound <= 0 then invalid_arg "Specgen.Rng.int: bound must be positive";
-    Int64.to_int
-      (Int64.rem (Int64.logand (next t) Int64.max_int) (Int64.of_int bound))
-
-  let bool t = Int64.logand (next t) 1L = 1L
-
-  let choose t = function
-    | [] -> invalid_arg "Specgen.Rng.choose: empty list"
-    | l -> List.nth l (int t (List.length l))
-
-  let split t = { state = next t }
-end
+(* deterministic PRNG: the shared splitmix64 from lib/par (promoted out of
+   this module, which used to carry its own copy), re-exported under the
+   historical name so every fuzz seed keeps its meaning *)
+module Rng = Splice_par.Splitmix
 
 (* -------- random specifications -------- *)
 

@@ -9,23 +9,12 @@
 
 open Splice_syntax
 
-(** Deterministic splitmix64 generator. Same seed, same stream, on every
+(** Deterministic splitmix64 generator — {!Splice_par.Splitmix},
+    re-exported under its historical name (it was promoted out of this
+    module so the domain pool's seed-splitting and the fuzzer share one
+    stream-compatible implementation). Same seed, same stream, on every
     platform — the property QCheck's [Random.State] does not give us. *)
-module Rng : sig
-  type t
-
-  val make : int -> t
-  val int : t -> int -> int
-  (** [int t bound] in [\[0, bound)]. [bound] must be positive. *)
-
-  val bool : t -> bool
-  val int64 : t -> int64
-  val choose : t -> 'a list -> 'a
-  (** Raises [Invalid_argument] on an empty list. *)
-
-  val split : t -> t
-  (** An independent child stream (advances the parent once). *)
-end
+module Rng = Splice_par.Splitmix
 
 (** The generator's view of a specification: close to the surface syntax, so
     shrunk counterexamples render as something a user could have written. *)

@@ -87,6 +87,10 @@ module Linuxgen = Splice_codegen.Linuxgen
 module C_lint = Splice_codegen.C_lint
 module Api = Splice_codegen.Api
 
+(* multicore execution: domain pool + deterministic seed splitting *)
+module Pool = Splice_par.Pool
+module Splitmix = Splice_par.Splitmix
+
 (* conformance checking: bus monitors, spec fuzzer, differential executor *)
 module Bus_monitor = Splice_check.Bus_monitor
 module Specgen = Splice_check.Specgen

@@ -47,12 +47,13 @@ let reference_outputs ~taps samples =
    Peripheral.build hands the same behaviour to every instance of a
    multi-instance function, so per-channel state is routed through a
    "current channel" selector recorded just before each driver call — safe
-   because the simulation executes one driver call at a time. *)
-type t = { host : Host.t; taps : int64 list array }
+   because one host executes one driver call at a time. The selector lives
+   in the instance (not a module global) so independent filters in
+   different pool domains cannot race. *)
+type t = { host : Host.t; taps : int64 list array; current_channel : int ref }
 
-let current_channel = ref 0
-
-let make_behaviors (taps_store : int64 list array) name : Stub_model.behavior =
+let make_behaviors (taps_store : int64 list array) (current_channel : int ref)
+    name : Stub_model.behavior =
   match name with
   | "set_taps" ->
       Stub_model.behavior ~cycles:2 (fun inputs ->
@@ -88,13 +89,14 @@ let make_behaviors (taps_store : int64 list array) name : Stub_model.behavior =
 let create ?bus () =
   let spec = spec ?bus () in
   let taps = [| []; [] |] in
-  let host = Host.create spec ~behaviors:(make_behaviors taps) in
-  { host; taps }
+  let current_channel = ref 0 in
+  let host = Host.create spec ~behaviors:(make_behaviors taps current_channel) in
+  { host; taps; current_channel }
 
 let host t = t.host
 
 let set_taps ?(channel = 0) t taps =
-  current_channel := channel;
+  t.current_channel := channel;
   let n = Int64.of_int (List.length taps) in
   let r, cycles =
     Host.call ~instance:channel t.host ~func:"set_taps"
@@ -104,7 +106,7 @@ let set_taps ?(channel = 0) t taps =
   cycles
 
 let filter ?(channel = 0) t samples =
-  current_channel := channel;
+  t.current_channel := channel;
   let n = Int64.of_int (List.length samples) in
   match
     Host.call ~instance:channel t.host ~func:"filter"
@@ -114,11 +116,11 @@ let filter ?(channel = 0) t samples =
   | _ -> failwith "fir: filter expected one result"
 
 let decimate ?(channel = 0) t ~every samples =
-  current_channel := channel;
+  t.current_channel := channel;
   let n = List.length samples in
   let m = n / every in
   if m = 0 then invalid_arg "Fir.decimate: block shorter than the stride";
-  current_channel := channel;
+  t.current_channel := channel;
   Host.call ~instance:channel t.host ~func:"decimate"
     ~args:
       [

@@ -7,8 +7,16 @@ type row = {
   total : int;
 }
 
-let measure () =
-  List.map
+(* each implementation cell builds its own host (and so its own kernel and
+   domain-local signals): an independent task for the pool *)
+let measure ?pool () =
+  let map f l =
+    match pool with
+    | None -> List.map f l
+    | Some p ->
+        Array.to_list (Splice_par.Pool.map_ordered p f (Array.of_list l))
+  in
+  map
     (fun impl ->
       let host = Interpolator.make_host impl in
       let per_scenario =

@@ -9,9 +9,11 @@ type row = {
   total : int;
 }
 
-val measure : unit -> row list
+val measure : ?pool:Splice_par.Pool.t -> unit -> row list
 (** Runs every implementation on every scenario; also cross-checks each
-    result against the golden model and raises [Failure] on mismatch. *)
+    result against the golden model and raises [Failure] on mismatch.
+    [pool] runs the implementation cells (each with its own host and
+    kernel) in parallel; the rows are identical either way. *)
 
 val cycles_of : row list -> Interpolator.impl -> int
 (** Total cycles across scenarios. Raises [Not_found]. *)

@@ -5,6 +5,13 @@ open Splice_driver
 let validate src =
   Validate.of_string_exn ~lookup_bus:Splice_buses.Registry.lookup_caps src
 
+(* grid cells fan out over an optional domain pool; every cell builds its
+   own host, so results are identical with and without one *)
+let pool_map pool f l =
+  match pool with
+  | None -> List.map f l
+  | Some p -> Array.to_list (Splice_par.Pool.map_ordered p f (Array.of_list l))
+
 let sink_behavior name =
   ignore name;
   Stub_model.behavior ~cycles:1 (fun _ -> [])
@@ -155,8 +162,8 @@ module Arbitration = struct
     if name = "sink" then sink_behavior name
     else Stub_model.behavior (fun inputs -> [ List.hd (List.assoc "x" inputs) ])
 
-  let run ?(max_functions = 8) () =
-    List.map
+  let run ?pool ?(max_functions = 8) () =
+    pool_map pool
       (fun k ->
         let spec = validate (spec_src k) in
         let host = Host.create spec ~behaviors in
@@ -223,9 +230,14 @@ module Scheduler = struct
         let host = Host.create ~sched spec ~behaviors:Arbitration.behaviors in
         kernel_totals host (run_call host ~n:8 ~elems:(elems_of 8)))
 
-  let run ?(max_functions = 8) () =
-    List.map interp_point Splice_devices.Interpolator.all_impls
-    @ List.map arbitration_point (List.init max_functions (fun i -> i + 1))
+  let run ?pool ?(max_functions = 8) () =
+    let cells =
+      List.map (fun i -> `Impl i) Splice_devices.Interpolator.all_impls
+      @ List.init max_functions (fun i -> `Arb (i + 1))
+    in
+    pool_map pool
+      (function `Impl i -> interp_point i | `Arb k -> arbitration_point k)
+      cells
 
   let table points =
     let buf = Buffer.create 512 in
@@ -439,3 +451,85 @@ void sink(int n, int*:n xs);
       points;
     Buffer.contents buf
 end
+
+(* ------------------------------------------------------------------ *)
+
+module Scaling = struct
+  type point = {
+    jobs : int;
+    wall_s : float;
+    speedup : float;
+    calls : int;
+    digest : int64;
+    deterministic : bool;
+  }
+
+  let default_jobs = [ 1; 2; 4; 8 ]
+
+  let fuzz_config ~seed ~count ~buses =
+    { Splice_check.Diff.default_config with seed; count; buses }
+
+  let run ?(jobs = default_jobs) ?(seed = 42) ?(count = 8)
+      ?(buses = [ "plb"; "apb" ]) () =
+    let one j =
+      let config = fuzz_config ~seed ~count ~buses in
+      let t0 = Unix.gettimeofday () in
+      let report =
+        match Splice_par.Pool.of_jobs j with
+        | None -> Splice_check.Diff.run config
+        | Some pool ->
+            Fun.protect
+              ~finally:(fun () -> Splice_par.Pool.shutdown pool)
+              (fun () -> Splice_check.Diff.run ~pool config)
+      in
+      (j, Unix.gettimeofday () -. t0, report)
+    in
+    let raw = List.map one jobs in
+    let base_wall, base_digest =
+      match raw with
+      | (_, w, r) :: _ -> (w, r.Splice_check.Diff.r_digest)
+      | [] -> (1.0, 0L)
+    in
+    List.map
+      (fun (j, w, (r : Splice_check.Diff.report)) ->
+        {
+          jobs = j;
+          wall_s = w;
+          speedup = base_wall /. Float.max w 1e-9;
+          calls = r.Splice_check.Diff.r_calls;
+          digest = r.Splice_check.Diff.r_digest;
+          deterministic = Int64.equal r.Splice_check.Diff.r_digest base_digest;
+        })
+      raw
+
+  let deterministic points = List.for_all (fun p -> p.deterministic) points
+
+  let table points =
+    let buf = Buffer.create 512 in
+    Buffer.add_string buf
+      "Parallel scaling (E15): the fixed-seed differential fuzz sweep on a \
+       domain pool\n";
+    Buffer.add_string buf
+      "(identical digests required at every -j; wall-clock and speedup are \
+       machine-dependent\n and only meaningful on a multicore host — CI \
+       containers often expose one core)\n";
+    Buffer.add_string buf
+      (Printf.sprintf "%4s %10s %9s %8s %18s %14s\n" "-j" "wall(s)" "speedup"
+         "calls" "digest" "deterministic");
+    List.iter
+      (fun p ->
+        Buffer.add_string buf
+          (Printf.sprintf "%4d %10.3f %8.2fx %8d 0x%016Lx %14s\n" p.jobs
+             p.wall_s p.speedup p.calls p.digest
+             (if p.deterministic then "yes" else "NO!")))
+      points;
+    (if deterministic points then
+       Buffer.add_string buf
+         "every worker count produced a bit-identical sweep digest\n"
+     else
+       Buffer.add_string buf
+         "DIGEST MISMATCH: parallel execution changed the results — a task \
+          is sharing state\n");
+    Buffer.contents buf
+end
+

@@ -36,7 +36,10 @@ end
 module Arbitration : sig
   type point = { functions : int; cycles : int }
 
-  val run : ?max_functions:int -> unit -> point list
+  val run : ?pool:Splice_par.Pool.t -> ?max_functions:int -> unit -> point list
+  (** The k cells are independent hosts — [pool] runs them in parallel
+      with identical results. *)
+
   val table : point list -> string
 end
 
@@ -69,10 +72,45 @@ module Scheduler : sig
   val arbitration_point : int -> point
   (** The E8 workload with [k] functions behind the arbiter. *)
 
-  val run : ?max_functions:int -> unit -> point list
+  val run : ?pool:Splice_par.Pool.t -> ?max_functions:int -> unit -> point list
   (** Every Fig 9.2 implementation plus the E8 sweep up to
-      [max_functions]. *)
+      [max_functions]; [pool] runs the cells in parallel with identical
+      results. *)
 
+  val table : point list -> string
+end
+
+(** E15 — parallel scaling (the execution engine itself): the fixed-seed
+    differential fuzz sweep ({!Splice_check.Diff}) run on domain pools of
+    increasing size. Two claims are checked at once: the wall-clock
+    speedup of the multicore engine, and — the part that must hold on
+    any machine — that every worker count produces a bit-identical sweep
+    digest (the determinism contract of the seed-split task design). *)
+module Scaling : sig
+  type point = {
+    jobs : int;  (** the [-j] value: executors used *)
+    wall_s : float;
+    speedup : float;  (** first row's wall-clock / this row's *)
+    calls : int;
+    digest : int64;  (** {!Splice_check.Diff.report.r_digest} *)
+    deterministic : bool;  (** digest equals the first row's *)
+  }
+
+  val default_jobs : int list
+  (** [1; 2; 4; 8] *)
+
+  val run :
+    ?jobs:int list ->
+    ?seed:int ->
+    ?count:int ->
+    ?buses:string list ->
+    unit ->
+    point list
+  (** Defaults: jobs {!default_jobs}, seed 42, count 8,
+      buses [plb; apb]. The first entry of [jobs] is the speedup
+      baseline (put 1 first). *)
+
+  val deterministic : point list -> bool
   val table : point list -> string
 end
 

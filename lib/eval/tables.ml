@@ -3,8 +3,8 @@ open Splice_resources
 
 let fig_9_1 () = Interp_scenarios.fig_9_1_table ()
 
-let fig_9_2 () =
-  let rows = Cycles.measure () in
+let fig_9_2 ?pool () =
+  let rows = Cycles.measure ?pool () in
   (Cycles.fig_9_2_table rows, Cycles.summarize rows)
 
 let fig_9_3 () =
@@ -83,16 +83,16 @@ let ascii_bars ~title rows =
     rows;
   Buffer.contents buf
 
-let everything () =
+let everything ?pool () =
   let buf = Buffer.create 4096 in
   let section s = Buffer.add_string buf ("\n== " ^ s ^ " ==\n\n") in
   section "Figure 9.1";
   Buffer.add_string buf (fig_9_1 ());
   section "Figure 9.2";
-  let t, summary = fig_9_2 () in
+  let t, summary = fig_9_2 ?pool () in
   Buffer.add_string buf t;
   Buffer.add_string buf (Format.asprintf "\n%a\n" Cycles.pp_summary summary);
-  let rows = Cycles.measure () in
+  let rows = Cycles.measure ?pool () in
   Buffer.add_string buf
     (ascii_bars ~title:"\nTotal cycles across scenarios (Fig 9.2 bar chart):"
        (List.map
@@ -113,9 +113,14 @@ let everything () =
   Buffer.add_string buf
     (Experiment.Dma_crossover.table (Experiment.Dma_crossover.run ()));
   section "Arbitration ablation (E8)";
-  Buffer.add_string buf (Experiment.Arbitration.table (Experiment.Arbitration.run ()));
+  Buffer.add_string buf
+    (Experiment.Arbitration.table (Experiment.Arbitration.run ?pool ()));
   section "Scheduler ablation (E14)";
-  Buffer.add_string buf (Experiment.Scheduler.table (Experiment.Scheduler.run ()));
+  Buffer.add_string buf
+    (Experiment.Scheduler.table (Experiment.Scheduler.run ?pool ()));
+  section "Parallel scaling (E15)";
+  (* spawns its own pools per row; independent of [pool] *)
+  Buffer.add_string buf (Experiment.Scaling.table (Experiment.Scaling.run ()));
   section "Burst ablation (E9)";
   Buffer.add_string buf (Experiment.Burst.table (Experiment.Burst.run ()));
   section "Interrupt ablation (E11)";

@@ -110,6 +110,36 @@ let counter_value t name =
 let find_histogram t name =
   List.find_opt (fun h -> h.h_name = name) t.histograms
 
+(* Deterministic cross-registry aggregation: the parallel grids run one
+   registry per task and fold them into one — the result must not depend
+   on fold order or worker count, so every rule below is commutative and
+   associative: counters and histograms sum, gauges (instantaneous
+   levels) take the max. *)
+let merge_into ~into src =
+  List.iter
+    (fun c -> add (counter into c.c_name) c.count)
+    src.counters;
+  List.iter
+    (fun g ->
+      let dst = gauge into g.g_name in
+      dst.level <- max dst.level g.level)
+    src.gauges;
+  List.iter
+    (fun h ->
+      let dst = histogram ~limits:h.limits into h.h_name in
+      if dst.limits <> h.limits then
+        invalid_arg
+          (Printf.sprintf "Metrics.merge_into: %s bucket limits differ"
+             h.h_name);
+      Array.iteri (fun i c -> dst.buckets.(i) <- dst.buckets.(i) + c) h.buckets;
+      dst.n <- dst.n + h.n;
+      dst.sum <- dst.sum + h.sum;
+      if h.n > 0 then begin
+        dst.vmin <- min dst.vmin h.vmin;
+        dst.vmax <- max dst.vmax h.vmax
+      end)
+    src.histograms
+
 let reset t =
   List.iter (fun c -> c.count <- 0) t.counters;
   List.iter (fun g -> g.level <- 0) t.gauges;

@@ -70,3 +70,12 @@ val find_histogram : t -> string -> histogram option
 
 val reset : t -> unit
 (** Zero every metric, keeping registrations (handles stay valid). *)
+
+val merge_into : into:t -> t -> unit
+(** [merge_into ~into src] folds [src] into [into], by metric name:
+    counters and histograms sum (bucket-wise; min/max widen), gauges take
+    the maximum level. Every rule is commutative and associative, so
+    folding the per-task registries of a parallel grid yields the same
+    aggregate at any worker count and in any completion order. Raises
+    [Invalid_argument] when two histograms of the same name have
+    different bucket limits. [src] is not modified. *)

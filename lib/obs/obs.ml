@@ -16,6 +16,13 @@ let create ?(tracing = false) () =
 let none =
   { enabled = false; metrics = Metrics.create (); tracer = Tracer.create (); now = 0 }
 
+let merge ~into src =
+  if into == src then invalid_arg "Obs.merge: cannot merge a context into itself";
+  if into.enabled then begin
+    Metrics.merge_into ~into:into.metrics src.metrics;
+    into.now <- max into.now src.now
+  end
+
 let active t = t.enabled
 let metrics t = t.metrics
 let tracer t = t.tracer

@@ -22,6 +22,14 @@ val active : t -> bool
 val metrics : t -> Metrics.t
 val tracer : t -> Tracer.t
 
+val merge : into:t -> t -> unit
+(** Fold one task's context into an aggregate: metrics merge by
+    {!Metrics.merge_into} (commutative + associative, so aggregate stats
+    such as [sim/comb_evals] and the cycle histograms sum identically at
+    any worker count), [now] takes the maximum. Span traces are {e not}
+    merged — tracing runs are per-task by design. No-op when [into] is
+    disabled; raises [Invalid_argument] when both are the same context. *)
+
 val tracing : t -> bool
 (** [active t && Tracer.enabled (tracer t)] — guard span bookkeeping that
     would otherwise allocate labels. *)

@@ -182,7 +182,9 @@ let settle t =
   end
 
 let cycle t =
-  Obs.set_now t.obs t.cycle_count;
+  (* guarded: [Obs.none] is one value shared by every kernel that opted
+     out, including kernels in other pool domains — never write to it *)
+  if Obs.active t.obs then Obs.set_now t.obs t.cycle_count;
   settle t;
   Array.iter (fun (_, f) -> f t.cycle_count) t.checks_fwd;
   (match Array.length t.checks_fwd with

@@ -12,15 +12,30 @@ type t = {
          signal; gives O(1) last-write-wins during the commit scan *)
 }
 
-let changes = ref 0
-let pending : (t * Bits.t) list ref = ref []
+(* The signal store (change counter, deferred-write queue, name counter,
+   commit epoch) used to be module-global refs. Parallel grids run one
+   kernel per pool task, so the store is domain-local: every task sees its
+   own queue and fixpoint counter, and concurrent kernels in different
+   domains never race. Within one domain the old single-kernel-at-a-time
+   discipline still applies. *)
+type store = {
+  mutable changes : int;
+  mutable s_pending : (t * Bits.t) list;
+  mutable counter : int;
+  mutable commit_epoch : int;
+}
 
-let counter = ref 0
+let store_key : store Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { changes = 0; s_pending = []; counter = 0; commit_epoch = 0 })
+
+let store () = Domain.DLS.get store_key
 
 let create ?name width =
-  incr counter;
+  let st = store () in
+  st.counter <- st.counter + 1;
   let name =
-    match name with Some n -> n | None -> Printf.sprintf "sig%d" !counter
+    match name with Some n -> n | None -> Printf.sprintf "sig%d" st.counter
   in
   { name; width; value = Bits.zero width; listeners = []; commit_stamp = 0 }
 
@@ -40,7 +55,8 @@ let set t v =
             t.width));
   if not (Bits.equal t.value v) then begin
     t.value <- v;
-    incr changes;
+    let st = store () in
+    st.changes <- st.changes + 1;
     match t.listeners with
     | [] -> ()
     | ls -> List.iter (fun f -> f ()) ls
@@ -59,23 +75,23 @@ let set_next t v =
       (Bits.Width_mismatch
          (Printf.sprintf "Signal.set_next %s: %d vs %d" t.name (Bits.width v)
             t.width));
-  pending := (t, v) :: !pending
+  let st = store () in
+  st.s_pending <- (t, v) :: st.s_pending
 
 let set_next_bool t b = set_next t (Bits.of_bool b)
 let set_next_int t v = set_next t (Bits.of_int ~width:t.width v)
-let change_count () = !changes
-
-let commit_epoch = ref 0
+let change_count () = (store ()).changes
 
 let commit_pending () =
   (* Last write wins: the list is newest-first, so the first write stamped
      with the current epoch shadows any older queued writes to the same
      signal — a single O(n) scan, no membership lists. *)
-  (match !pending with
+  let st = store () in
+  (match st.s_pending with
   | [] -> ()
   | writes ->
-      incr commit_epoch;
-      let epoch = !commit_epoch in
+      st.commit_epoch <- st.commit_epoch + 1;
+      let epoch = st.commit_epoch in
       List.iter
         (fun (s, v) ->
           if s.commit_stamp <> epoch then begin
@@ -83,6 +99,8 @@ let commit_pending () =
             set s v
           end)
         writes);
-  pending := []
+  st.s_pending <- []
 
-let clear_pending () = pending := []
+let clear_pending () = (store ()).s_pending <- []
+
+let reset_names () = (store ()).counter <- 0

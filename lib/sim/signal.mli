@@ -1,14 +1,18 @@
 (** Simulation signals: named, width-tagged wires with immediate
     (combinational) and deferred (registered) assignment.
 
-    Combinational drives ({!set}) take effect immediately and bump a global
+    Combinational drives ({!set}) take effect immediately and bump a
     change counter the kernel uses for fixpoint detection. Registered drives
     ({!set_next}) are queued and commit simultaneously when the kernel calls
     {!commit_pending} at the clock edge — so every sequential process observes
     pre-edge values, as in RTL.
 
-    The pending queue is module-global: run one {!Kernel} at a time (the
-    normal case for this simulator; all tests comply). *)
+    The pending queue, change counter and default-name counter are
+    {e domain-local} (one store per OCaml domain, via [Domain.DLS]): within a
+    domain run one {!Kernel} at a time, as before, while pool workers
+    (see [Splice_par.Pool]) each get an independent store — concurrent
+    kernels in different domains never share signal state. Never pass a
+    signal created in one domain to a kernel cycling in another. *)
 
 open Splice_bits
 
@@ -43,7 +47,8 @@ val set_next_bool : t -> bool -> unit
 val set_next_int : t -> int -> unit
 
 val change_count : unit -> int
-(** Global counter incremented whenever any signal actually changes value. *)
+(** Domain-local counter incremented whenever any signal actually changes
+    value. *)
 
 val on_change : t -> (unit -> unit) -> unit
 (** [on_change s f] subscribes [f] to the signal's fan-out list: it fires
@@ -57,3 +62,9 @@ val commit_pending : unit -> unit
 
 val clear_pending : unit -> unit
 (** Drop queued writes (used when tearing a simulation down mid-cycle). *)
+
+val reset_names : unit -> unit
+(** Restart the domain-local [sigN] default-name counter. Harnesses that
+    build one isolated simulation per task call this first, so default
+    names — which can appear in failure messages — do not depend on what
+    else ran in the same domain. *)
