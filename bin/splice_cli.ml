@@ -5,7 +5,8 @@
    splice plan   SPEC           show per-function transfer plans
    splice buses                 list registered bus adapters
    splice eval                  reproduce the Ch 9 evaluation tables
-   splice fuzz                  differential conformance fuzzing *)
+   splice fuzz                  differential conformance fuzzing
+   splice trace  DUMP           query a flight-recorder failure dump *)
 
 open Cmdliner
 
@@ -247,11 +248,23 @@ let eval_cmd =
              track; timestamps in bus-clock cycles). Open at \
              chrome://tracing or ui.perfetto.dev.")
   in
-  let run stats trace jobs =
+  let openmetrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "openmetrics" ] ~docv:"FILE"
+          ~doc:
+            "Write an OpenMetrics/Prometheus text exposition of every \
+             counter and histogram the instrumented Fig 9.2 runs \
+             accumulated (merged across implementations), e.g. \
+             BENCH_openmetrics.txt — lets CI scrape cycle counts and comb \
+             evaluations as trend series.")
+  in
+  let run stats trace openmetrics jobs =
     with_jobs jobs (fun pool ->
         print_string (Splice.Tables.everything ?pool ()));
-    match (stats, trace) with
-    | None, None -> 0
+    match (stats, trace, openmetrics) with
+    | None, None, None -> 0
     | _ -> (
         let drows =
           Splice.Cycles.measure_detailed ~tracing:(trace <> None) ()
@@ -271,6 +284,19 @@ let eval_cmd =
                 (Splice.Cycles.chrome_trace_string drows);
               Printf.printf "wrote Chrome trace to %s\n" path)
             trace;
+          Option.iter
+            (fun path ->
+              (* one merged registry: Obs.merge sums commutatively, so the
+                 exposition is a stable function of the measurement *)
+              let agg = Splice.Obs.create ~recording:false () in
+              List.iter
+                (fun (r : Splice.Cycles.detailed_row) ->
+                  Splice.Obs.merge ~into:agg r.Splice.Cycles.obs)
+                drows;
+              Splice.Export.write_file path
+                (Splice.Openmetrics.of_metrics (Splice.Obs.metrics agg));
+              Printf.printf "wrote OpenMetrics exposition to %s\n" path)
+            openmetrics;
           0
         with Sys_error msg ->
           Printf.eprintf "error: %s\n" msg;
@@ -280,10 +306,10 @@ let eval_cmd =
     (Cmd.info "eval"
        ~doc:
          "Reproduce the Ch 9 evaluation (Figs 9.1-9.3 and the ablations). \
-          With $(b,--stats) and/or $(b,--trace), additionally re-run the \
-          Fig 9.2 measurement with the observability layer attached and \
-          export the results.")
-    Term.(const run $ stats $ trace $ jobs_arg)
+          With $(b,--stats), $(b,--trace) and/or $(b,--openmetrics), \
+          additionally re-run the Fig 9.2 measurement with the \
+          observability layer attached and export the results.")
+    Term.(const run $ stats $ trace $ openmetrics $ jobs_arg)
 
 let fuzz_cmd =
   let seed =
@@ -330,7 +356,19 @@ let fuzz_cmd =
             "Write a machine-readable summary of the sweep (seed, matrix, \
              calls, throughput, digest) as JSON, e.g. BENCH_fuzz.json.")
   in
-  let run seed count bus sched quiet jobs json =
+  let record =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "record" ] ~docv:"FILE"
+          ~doc:
+            "On failure, write the shrunk counterexample's flight-recorder \
+             dump (the last ring of signal transitions, bus transactions, \
+             scheduler passes and check evaluations, ending at the \
+             violation) to $(docv), ready for $(b,splice trace). No file \
+             is written when the sweep passes.")
+  in
+  let run seed count bus sched quiet jobs json record =
     let seed =
       match seed with
       | Some s -> s
@@ -411,6 +449,18 @@ let fuzz_cmd =
         0
     | Some f ->
         Format.eprintf "%a@." Splice.Diff.pp_failure f;
+        (match record with
+        | None -> ()
+        | Some path -> (
+            match f.Splice.Diff.f_dump with
+            | Some dump ->
+                Splice.Export.write_file path dump;
+                Printf.eprintf "wrote failure dump to %s (inspect with \
+                                `splice trace %s`)\n" path path
+            | None ->
+                Printf.eprintf
+                  "no flight-recorder dump for this failure (E14 \
+                   cycle-count mismatch)\n"));
         1
   in
   Cmd.v
@@ -421,7 +471,125 @@ let fuzz_cmd =
           schedulers, with all protocol monitors attached, asserting \
           golden-model data equality and scheduler cycle-count agreement. \
           Prints a reproduction command on failure.")
-    Term.(const run $ seed $ count $ bus $ sched $ quiet $ jobs_arg $ json)
+    Term.(
+      const run $ seed $ count $ bus $ sched $ quiet $ jobs_arg $ json $ record)
+
+let trace_cmd =
+  let dump_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"DUMP"
+          ~doc:
+            "Flight-recorder dump (JSON), e.g. the file written by \
+             $(b,splice fuzz --record) or $(b,Recorder.dump_string).")
+  in
+  let signal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "signal" ] ~docv:"NAME"
+          ~doc:"Only value changes of the named signal.")
+  in
+  let component =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "component" ] ~docv:"NAME"
+          ~doc:"Only combinational evaluations of the named component.")
+  in
+  let from_c =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "from" ] ~docv:"CYCLE" ~doc:"Drop events before $(docv).")
+  in
+  let to_c =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "to" ] ~docv:"CYCLE" ~doc:"Drop events after $(docv).")
+  in
+  let last =
+    Arg.(
+      value & opt int 0
+      & info [ "last" ] ~docv:"N"
+          ~doc:"Only the trailing $(docv) matching events (0 = all).")
+  in
+  let flame =
+    Arg.(
+      value & flag
+      & info [ "flamegraph" ]
+          ~doc:
+            "Emit collapsed-stack flamegraph lines of per-component comb \
+             evaluations inside the window (feed to flamegraph.pl, \
+             inferno or speedscope) instead of the event listing.")
+  in
+  let openm =
+    Arg.(
+      value & flag
+      & info [ "openmetrics" ]
+          ~doc:
+            "Emit the dump's embedded metrics snapshot as an \
+             OpenMetrics/Prometheus text exposition instead of the event \
+             listing.")
+  in
+  let run path signal component from_c to_c last flame openm =
+    match Splice.Query.load path with
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        1
+    | Ok d ->
+        if flame then begin
+          print_string (Splice.Query.flamegraph d);
+          0
+        end
+        else if openm then begin
+          print_string (Splice.Query.openmetrics d);
+          0
+        end
+        else begin
+          let subject, kinds =
+            match (signal, component) with
+            | Some _, Some _ ->
+                Printf.eprintf
+                  "error: --signal and --component are exclusive\n";
+                exit 2
+            | Some s, None -> (Some s, Some [ Splice.Recorder.Signal_change ])
+            | None, Some c -> (Some c, Some [ Splice.Recorder.Comp_eval ])
+            | None, None -> (None, None)
+          in
+          let filtered =
+            subject <> None || kinds <> None || from_c <> None || to_c <> None
+            || last > 0
+          in
+          if not filtered then print_string (Splice.Query.summary d);
+          let evs =
+            Splice.Query.filter ?subject ?kinds ?from_cycle:from_c
+              ?to_cycle:to_c d
+          in
+          let evs = if last > 0 then Splice.Query.last last evs else evs in
+          if not filtered then
+            Printf.printf "\nevents (%d in window):\n" (List.length evs);
+          List.iter
+            (fun e -> Format.printf "%a@." Splice.Query.pp_event e)
+            evs;
+          if filtered then
+            Printf.printf "%d matching events\n" (List.length evs);
+          0
+        end
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Query a flight-recorder dump post mortem: list or filter the \
+          event window (by signal, component or cycle range), reconstruct \
+          per-bus transaction latency percentiles, collapse per-component \
+          evaluation counts into a flamegraph, or re-expose the embedded \
+          metrics snapshot as OpenMetrics text.")
+    Term.(
+      const run $ dump_arg $ signal $ component $ from_c $ to_c $ last $ flame
+      $ openm)
 
 let () =
   let info =
@@ -432,4 +600,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ check_cmd; gen_cmd; plan_cmd; buses_cmd; markers_cmd; lint_cmd;
-            eval_cmd; fuzz_cmd ]))
+            eval_cmd; fuzz_cmd; trace_cmd ]))

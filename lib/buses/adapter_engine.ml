@@ -50,6 +50,10 @@ type t = {
   m_overhead : Metrics.counter;  (* setup, teardown, inter-word gaps *)
   h_burst : Metrics.histogram;
   mutable req_span : Tracer.span;
+  (* flight recorder (if the obs context carries one) plus the interned
+     "bus/<name>" track id, resolved once at engine creation *)
+  rec_ : Recorder.t option;
+  rec_track : int;
 }
 
 let deassert t =
@@ -58,6 +62,9 @@ let deassert t =
   Signal.set_next t.sis.Sis_if.data_in (Bits.zero (Signal.width t.sis.Sis_if.data_in))
 
 let end_transaction t =
+  (match t.rec_ with
+  | Some r -> Recorder.txn_end r ~subject:t.rec_track
+  | None -> ());
   Tracer.end_span t.req_span ~ts:(Obs.now t.obs);
   t.req_span <- Tracer.null_span;
   deassert t;
@@ -82,6 +89,11 @@ let strobe_read t =
 let begin_request t req =
   t.active <- Some req;
   t.collected <- [];
+  (match t.rec_ with
+  | Some r ->
+      Recorder.txn_begin r ~subject:t.rec_track
+        ~words:(Bus_port.words_of_req req)
+  | None -> ());
   if Obs.active t.obs then begin
     Metrics.incr t.m_transfers;
     Metrics.observe t.h_burst (Bus_port.words_of_req req);
@@ -253,6 +265,12 @@ let seq t () =
 let make ?(obs = Obs.none) cfg sis =
   let m = Obs.metrics obs in
   let metric name = Metrics.counter m ("bus/" ^ cfg.name ^ "/" ^ name) in
+  let rec_ = Obs.recorder obs in
+  let rec_track =
+    match rec_ with
+    | Some r -> Recorder.intern r ("bus/" ^ cfg.name)
+    | None -> -1
+  in
   let t =
     {
       cfg;
@@ -278,6 +296,8 @@ let make ?(obs = Obs.none) cfg sis =
         Metrics.histogram ~limits:[| 1; 2; 4; 8; 16; 32; 64 |] m
           ("bus/" ^ cfg.name ^ "/burst_words");
       req_span = Tracer.null_span;
+      rec_;
+      rec_track;
     }
   in
   t.comp <- Component.make ~seq:(seq t) ("adapter:" ^ cfg.name);

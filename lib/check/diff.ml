@@ -2,6 +2,7 @@ open Splice_sim
 open Splice_syntax
 open Splice_buses
 open Splice_driver
+open Splice_obs
 
 type config = {
   seed : int;
@@ -22,6 +23,7 @@ type failure = {
   f_func : string option;
   f_message : string;
   f_spec : Specgen.gspec;
+  f_dump : string option;
 }
 
 type report = {
@@ -80,13 +82,25 @@ let digest_failure acc f =
 let traffic_for iseed spec =
   Specgen.traffic (Specgen.Rng.make (iseed lxor 0x5bd1e995)) spec
 
-exception Call_failed of string option * string
+exception Call_failed of string option * string * string option
+(* (function, message, flight-recorder dump at the moment of failure) *)
+
+(* Serialize the host's flight-recorder ring (if the obs context carries
+   one — the default) at the point of failure: the ring ends at the
+   violation, and the metrics snapshot rides along. *)
+let dump_of host msg =
+  let obs = Host.obs host in
+  match Obs.recorder obs with
+  | Some r ->
+      Some (Recorder.dump_string ~context:msg ~metrics:(Obs.metrics obs) r)
+  | None -> None
 
 (* Run one spec's traffic on one bus under one scheduler with every monitor
    attached. Returns per-call cycle counts (for the E14 cross-check). *)
 let exec ~max_cycles ~iseed g bus sched =
   match Specgen.validate (Specgen.with_bus g bus) with
-  | Error e -> Error (None, Printf.sprintf "spec does not validate on %s: %s" bus e)
+  | Error e ->
+      Error (None, Printf.sprintf "spec does not validate on %s: %s" bus e, None)
   | Ok spec -> (
       let tr = traffic_for iseed spec in
       let run () =
@@ -99,12 +113,13 @@ let exec ~max_cycles ~iseed g bus sched =
             ~behaviors:(Specgen.behavior ~calc_cycles:tr.Specgen.t_calc_cycles)
         in
         Bus_monitor.attach (Host.kernel host) ~bus (Host.sis host);
+        let fail func msg = raise (Call_failed (func, msg, dump_of host msg)) in
         List.map
           (fun (c : Specgen.call) ->
             let f =
               match Spec.find_func spec c.Specgen.c_func with
               | Some f -> f
-              | None -> raise (Call_failed (Some c.Specgen.c_func, "unknown function"))
+              | None -> fail (Some c.Specgen.c_func) "unknown function"
             in
             let result, cycles =
               try
@@ -112,50 +127,42 @@ let exec ~max_cycles ~iseed g bus sched =
                   ~func:c.Specgen.c_func ~args:c.Specgen.c_args
               with
               | Kernel.Check_failed { cycle; check; message } ->
-                  raise
-                    (Call_failed
-                       ( Some c.Specgen.c_func,
-                         Printf.sprintf "%s violation at cycle %d: %s" check cycle
-                           message ))
+                  fail (Some c.Specgen.c_func)
+                    (Printf.sprintf "%s violation at cycle %d: %s" check cycle
+                       message)
               | Kernel.Timeout { elapsed; waiting_for; _ } ->
-                  raise
-                    (Call_failed
-                       ( Some c.Specgen.c_func,
-                         Printf.sprintf "timeout after %d cycles waiting for %s"
-                           elapsed waiting_for ))
+                  fail (Some c.Specgen.c_func)
+                    (Printf.sprintf "timeout after %d cycles waiting for %s"
+                       elapsed waiting_for)
               | Kernel.Comb_divergence { cycle; iterations } ->
-                  raise
-                    (Call_failed
-                       ( Some c.Specgen.c_func,
-                         Printf.sprintf
-                           "combinational divergence at cycle %d (%d delta passes)"
-                           cycle iterations ))
+                  fail (Some c.Specgen.c_func)
+                    (Printf.sprintf
+                       "combinational divergence at cycle %d (%d delta passes)"
+                       cycle iterations)
             in
             if cycles <= 0 then
-              raise (Call_failed (Some c.Specgen.c_func, "call consumed no cycles"));
+              fail (Some c.Specgen.c_func) "call consumed no cycles";
             let expected = Specgen.expected_output f ~args:c.Specgen.c_args in
             if result <> expected then
-              raise
-                (Call_failed
-                   ( Some c.Specgen.c_func,
-                     Format.asprintf
-                       "golden-model mismatch: got [%a], expected [%a]"
-                       Format.(pp_print_list ~pp_sep:(fun f () -> pp_print_string f "; ")
-                                 (fun f v -> pp_print_string f (Int64.to_string v)))
-                       result
-                       Format.(pp_print_list ~pp_sep:(fun f () -> pp_print_string f "; ")
-                                 (fun f v -> pp_print_string f (Int64.to_string v)))
-                       expected ));
+              fail (Some c.Specgen.c_func)
+                (Format.asprintf
+                   "golden-model mismatch: got [%a], expected [%a]"
+                   Format.(pp_print_list ~pp_sep:(fun f () -> pp_print_string f "; ")
+                             (fun f v -> pp_print_string f (Int64.to_string v)))
+                   result
+                   Format.(pp_print_list ~pp_sep:(fun f () -> pp_print_string f "; ")
+                             (fun f v -> pp_print_string f (Int64.to_string v)))
+                   expected);
             (c.Specgen.c_func, cycles))
           tr.Specgen.t_calls
       in
       match run () with
       | cycles -> Ok cycles
-      | exception Call_failed (func, msg) ->
+      | exception Call_failed (func, msg, dump) ->
           (* an aborted cycle may leave deferred writes queued in the
              module-global signal store; drop them before the next kernel *)
           Signal.clear_pending ();
-          Error (func, msg))
+          Error (func, msg, dump))
 
 (* One (spec, bus) cell of the matrix: every scheduler, then the E14
    cycle-count cross-check between them. Returns the calls executed. *)
@@ -165,7 +172,7 @@ let exec_bus ~max_cycles ~iseed g bus scheds =
     | sched :: rest -> (
         match exec ~max_cycles ~iseed g bus sched with
         | Ok cycles -> go ((sched, cycles) :: acc) rest
-        | Error (func, msg) -> Error (sched, func, msg))
+        | Error (func, msg, dump) -> Error (sched, func, msg, dump))
   in
   match go [] scheds with
   | Error _ as e -> e
@@ -189,7 +196,11 @@ let exec_bus ~max_cycles ~iseed g bus scheds =
                   (List.combine c0 c))
               rest
           in
-          (match mismatch with Some (s, f, m) -> Error (s, f, m) | None -> Ok runs)
+          (* no dump on an E14 mismatch: both runs completed and their
+             hosts are gone; the repro command regenerates either one *)
+          (match mismatch with
+          | Some (s, f, m) -> Error (s, f, m, None)
+          | None -> Ok runs)
       | [] -> Ok runs)
 
 let repro_command f =
@@ -213,7 +224,7 @@ let shrink_failure ~max_cycles ~iseed ~bus ~scheds g =
     decr budget;
     match exec_bus ~max_cycles ~iseed g' bus scheds with
     | Ok _ -> None
-    | Error (sched, func, msg) -> Some (sched, func, msg)
+    | Error (sched, func, msg, dump) -> Some (sched, func, msg, dump)
   in
   let rec go g cur =
     if !budget <= 0 then (g, cur)
@@ -308,10 +319,10 @@ let run ?(log = ignore) ?pool config =
                      (it + 1) config.count iseed nbuses
                      (List.length config.scheds))
               end
-          | Error (sched, func, msg) ->
-              let g', (sched', func', msg') =
+          | Error (sched, func, msg, dump) ->
+              let g', (sched', func', msg', dump') =
                 shrink_failure ~max_cycles:config.max_cycles ~iseed ~bus
-                  ~scheds:config.scheds g (sched, func, msg)
+                  ~scheds:config.scheds g (sched, func, msg, dump)
               in
               let f =
                 {
@@ -322,6 +333,11 @@ let run ?(log = ignore) ?pool config =
                   f_func = func';
                   f_message = msg';
                   f_spec = g';
+                  (* the dump of the *shrunk* failing run — like the rest of
+                     the failure it is a deterministic function of the task
+                     seed, but it is not folded into the digest (the digest
+                     predates dumps and E15 pins it) *)
+                  f_dump = dump';
                 }
               in
               iterations := it + 1;

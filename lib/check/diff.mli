@@ -37,6 +37,14 @@ type failure = {
   f_func : string option;
   f_message : string;
   f_spec : Specgen.gspec;  (** already shrunk *)
+  f_dump : string option;
+      (** flight-recorder dump (JSON, see {!Splice_obs.Recorder.dump}) of
+          the {e shrunk} failing run, serialized at the moment of failure —
+          feed it to [splice trace] for post-mortem analysis. [None] when
+          the host ran without a recorder or the failure is an E14
+          cycle-count mismatch (both runs completed). Deterministic for a
+          given seed at any worker count, but {e not} folded into
+          [r_digest]. *)
 }
 
 type report = {

@@ -96,10 +96,13 @@ module Bus_monitor = Splice_check.Bus_monitor
 module Specgen = Splice_check.Specgen
 module Diff = Splice_check.Diff
 
-(* observability: metrics, spans, exporters *)
+(* observability: metrics, spans, flight recorder, exporters *)
 module Obs = Splice_obs.Obs
 module Metrics = Splice_obs.Metrics
 module Tracer = Splice_obs.Tracer
+module Recorder = Splice_obs.Recorder
+module Query = Splice_obs.Query
+module Openmetrics = Splice_obs.Openmetrics
 module Json = Splice_obs.Json
 module Export = Splice_obs.Export
 

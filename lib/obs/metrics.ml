@@ -94,6 +94,32 @@ let bucket_counts h =
          (limit, c))
        h.buckets)
 
+(* Percentiles from bucketed counts: the smallest bucket upper bound whose
+   cumulative count reaches the rank, clamped to the observed maximum (so a
+   distribution living entirely below a bucket boundary never reports a
+   value it did not contain). Shared with the trace query engine, whose
+   histograms are parsed from dumps rather than held in a registry. *)
+let percentile_of ~limits ~buckets ~n ~vmax q =
+  if n <= 0 then 0
+  else begin
+    let rank =
+      let r = int_of_float (ceil (q *. float_of_int n)) in
+      if r < 1 then 1 else if r > n then n else r
+    in
+    let nl = Array.length limits in
+    let rec go i cum =
+      if i >= nl then vmax
+      else
+        let cum = cum + buckets.(i) in
+        if cum >= rank then min limits.(i) vmax else go (i + 1) cum
+    in
+    go 0 0
+  end
+
+let percentile h q =
+  percentile_of ~limits:h.limits ~buckets:h.buckets ~n:h.n ~vmax:(max_value h)
+    q
+
 let by_name name_of l = List.sort (fun a b -> compare (name_of a) (name_of b)) l
 let counters t = by_name (fun c -> c.c_name) t.counters
 let gauges t = by_name (fun g -> g.g_name) t.gauges

@@ -54,6 +54,20 @@ val bucket_counts : histogram -> (int option * int) list
 (** (upper bound, count) per bucket in order; [None] is the overflow
     bucket. *)
 
+val percentile : histogram -> float -> int
+(** [percentile h q] for [q] in [0..1]: the smallest bucket upper bound
+    whose cumulative count reaches rank [ceil (q * n)] (clamped to
+    [1..n]), itself clamped to {!max_value} — so p100 is exact and no
+    percentile exceeds an observed value. Overflow-bucket ranks report
+    {!max_value}. 0 when the histogram is empty. *)
+
+val percentile_of :
+  limits:int array -> buckets:int array -> n:int -> vmax:int -> float -> int
+(** The same computation over raw bucket data ([buckets] may carry one
+    trailing overflow bucket beyond [limits]) — for histograms
+    reconstructed from flight-recorder dumps rather than registered
+    here. *)
+
 val counters : t -> counter list
 (** Sorted by name. *)
 

@@ -2,23 +2,36 @@ type t = {
   enabled : bool;
   metrics : Metrics.t;
   tracer : Tracer.t;
+  recorder : Recorder.t option;
   mutable now : int;
 }
 
-let create ?(tracing = false) () =
+let create ?(tracing = false) ?(recording = true) ?ring () =
   {
     enabled = true;
     metrics = Metrics.create ();
     tracer = Tracer.create ~enabled:tracing ();
+    recorder =
+      (if recording then Some (Recorder.create ?capacity:ring ()) else None);
     now = 0;
   }
 
 let none =
-  { enabled = false; metrics = Metrics.create (); tracer = Tracer.create (); now = 0 }
+  {
+    enabled = false;
+    metrics = Metrics.create ();
+    tracer = Tracer.create ();
+    recorder = None;
+    now = 0;
+  }
 
+(* Symmetric no-op on disabled contexts: a disabled [src] carries nothing
+   worth folding (its metrics are never written), and folding anything
+   into a disabled [into] — in particular the shared [none] — would leak
+   state into every kernel that opted out. *)
 let merge ~into src =
   if into == src then invalid_arg "Obs.merge: cannot merge a context into itself";
-  if into.enabled then begin
+  if into.enabled && src.enabled then begin
     Metrics.merge_into ~into:into.metrics src.metrics;
     into.now <- max into.now src.now
   end
@@ -26,6 +39,11 @@ let merge ~into src =
 let active t = t.enabled
 let metrics t = t.metrics
 let tracer t = t.tracer
+let recorder t = if t.enabled then t.recorder else None
 let now t = t.now
-let set_now t cycle = t.now <- cycle
+
+let set_now t cycle =
+  t.now <- cycle;
+  match t.recorder with Some r -> Recorder.set_now r cycle | None -> ()
+
 let tracing t = t.enabled && Tracer.enabled t.tracer

@@ -1,19 +1,23 @@
-(** Observability context: one metrics registry plus one span tracer,
-    sharing the simulation's cycle clock.
+(** Observability context: one metrics registry, one span tracer, and one
+    optional flight recorder, sharing the simulation's cycle clock.
 
     A context is owned by each simulation kernel ([Kernel.create ?obs]) and
     handed to every instrumented component at wiring time. Metrics are
     always on (integer mutations only); span tracing is opt-in
     ([create ~tracing:true] or [Tracer.enable]) because spans allocate one
-    record per event. [none] is a shared disabled context: instrumented
-    code guards recording with {!active}, so components wired to it record
+    record per event; flight recording is on by default ([~recording:false]
+    opts out) because a recorded event is a few integer stores into a
+    bounded ring. [none] is a shared disabled context: instrumented code
+    guards recording with {!active}, so components wired to it record
     nothing. *)
 
 type t
 
-val create : ?tracing:bool -> unit -> t
+val create : ?tracing:bool -> ?recording:bool -> ?ring:int -> unit -> t
 (** A fresh enabled context. [tracing] (default false) pre-enables the
-    span tracer. *)
+    span tracer. [recording] (default true) attaches a flight recorder
+    holding the last [ring] (default [Recorder.default_capacity]) packed
+    events — the post-mortem window dumped when a protocol check fails. *)
 
 val none : t
 (** Shared disabled context — the zero-overhead opt-out. *)
@@ -22,13 +26,20 @@ val active : t -> bool
 val metrics : t -> Metrics.t
 val tracer : t -> Tracer.t
 
+val recorder : t -> Recorder.t option
+(** The flight recorder, [None] when recording was opted out or the
+    context is disabled — callers never record into [none]. *)
+
 val merge : into:t -> t -> unit
 (** Fold one task's context into an aggregate: metrics merge by
     {!Metrics.merge_into} (commutative + associative, so aggregate stats
     such as [sim/comb_evals] and the cycle histograms sum identically at
-    any worker count), [now] takes the maximum. Span traces are {e not}
-    merged — tracing runs are per-task by design. No-op when [into] is
-    disabled; raises [Invalid_argument] when both are the same context. *)
+    any worker count), [now] takes the maximum. Span traces and flight
+    recordings are {e not} merged — both are per-task black boxes by
+    design. No-op when {e either} context is disabled (symmetric: a
+    disabled [src] has nothing to contribute, and the shared disabled
+    [none] must never accumulate state); raises [Invalid_argument] when
+    both are the same context. *)
 
 val tracing : t -> bool
 (** [active t && Tracer.enabled (tracer t)] — guard span bookkeeping that
@@ -39,3 +50,4 @@ val now : t -> int
     timestamps read it. *)
 
 val set_now : t -> int -> unit
+(** Also forwards the cycle to the flight recorder's event clock. *)

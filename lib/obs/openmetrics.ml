@@ -1,0 +1,89 @@
+(* OpenMetrics / Prometheus text exposition of a metrics registry, so CI
+   can scrape cycle counts, comb_evals and fuzz throughput across PRs
+   with stock tooling. One metric family per registered metric:
+   counters end in `_total`, histograms expose cumulative `_bucket{le=…}`
+   series plus `_count`/`_sum`, and the exposition ends with `# EOF` as
+   the OpenMetrics spec requires. *)
+
+type hist = {
+  om_limits : int array;  (* upper bounds, excluding +Inf *)
+  om_buckets : int array;  (* per-bucket counts; last entry is overflow *)
+  om_sum : int;
+  om_count : int;
+}
+
+(* Metric names must match [a-zA-Z_:][a-zA-Z0-9_:]*; the registry's
+   slash-separated paths map onto underscores under a fixed prefix. *)
+let sanitize name =
+  let b = Buffer.create (String.length name + 7) in
+  Buffer.add_string b "splice_";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    name;
+  Buffer.contents b
+
+let render ~counters ~gauges ~histograms =
+  let b = Buffer.create 1024 in
+  let family name typ = Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name typ) in
+  List.iter
+    (fun (name, v) ->
+      let name = sanitize name in
+      family name "counter";
+      Buffer.add_string b (Printf.sprintf "%s_total %d\n" name v))
+    counters;
+  List.iter
+    (fun (name, v) ->
+      let name = sanitize name in
+      family name "gauge";
+      Buffer.add_string b (Printf.sprintf "%s %d\n" name v))
+    gauges;
+  List.iter
+    (fun (name, h) ->
+      let name = sanitize name in
+      family name "histogram";
+      let cum = ref 0 in
+      Array.iteri
+        (fun i limit ->
+          cum := !cum + (if i < Array.length h.om_buckets then h.om_buckets.(i) else 0);
+          Buffer.add_string b
+            (Printf.sprintf "%s_bucket{le=\"%d\"} %d\n" name limit !cum))
+        h.om_limits;
+      Buffer.add_string b
+        (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" name h.om_count);
+      Buffer.add_string b (Printf.sprintf "%s_count %d\n" name h.om_count);
+      Buffer.add_string b (Printf.sprintf "%s_sum %d\n" name h.om_sum))
+    histograms;
+  Buffer.add_string b "# EOF\n";
+  Buffer.contents b
+
+let hist_of_metrics h =
+  let limits, overflow =
+    List.partition_map
+      (fun (limit, count) ->
+        match limit with Some l -> Left (l, count) | None -> Right count)
+      (Metrics.bucket_counts h)
+  in
+  {
+    om_limits = Array.of_list (List.map fst limits);
+    om_buckets =
+      Array.of_list
+        (List.map snd limits @ [ (match overflow with c :: _ -> c | [] -> 0) ]);
+    om_sum = Metrics.total h;
+    om_count = Metrics.observations h;
+  }
+
+let of_metrics m =
+  render
+    ~counters:
+      (List.map
+         (fun c -> (Metrics.counter_name c, Metrics.count c))
+         (Metrics.counters m))
+    ~gauges:
+      (List.map (fun g -> (Metrics.gauge_name g, Metrics.level g)) (Metrics.gauges m))
+    ~histograms:
+      (List.map
+         (fun h -> (Metrics.histogram_name h, hist_of_metrics h))
+         (Metrics.histograms m))

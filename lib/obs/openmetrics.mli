@@ -1,0 +1,33 @@
+(** OpenMetrics / Prometheus text exposition of metric snapshots, so CI
+    can track cycle counts, comb evaluations and fuzz throughput across
+    commits with stock scraping tools.
+
+    Mapping: registry paths sanitize to [splice_]-prefixed names
+    ([sim/comb_evals] → [splice_sim_comb_evals]); counters are exposed as
+    [<name>_total], gauges verbatim, histograms as cumulative
+    [<name>_bucket{le="…"}] series (one per limit plus [+Inf]) with
+    [<name>_count] and [<name>_sum]. The exposition always ends with the
+    [# EOF] terminator the OpenMetrics spec requires. *)
+
+type hist = {
+  om_limits : int array;  (** upper bounds, excluding [+Inf] *)
+  om_buckets : int array;
+      (** per-bucket (non-cumulative) counts; one trailing overflow entry *)
+  om_sum : int;
+  om_count : int;
+}
+
+val of_metrics : Metrics.t -> string
+(** Snapshot a live registry. *)
+
+val render :
+  counters:(string * int) list ->
+  gauges:(string * int) list ->
+  histograms:(string * hist) list ->
+  string
+(** The same exposition over raw snapshot data — used by the trace query
+    engine for registries reconstructed from flight-recorder dumps. *)
+
+val sanitize : string -> string
+(** [splice_] prefix + every character outside [[a-zA-Z0-9_:]] replaced
+    with [_]. *)

@@ -10,6 +10,10 @@ type t = {
   has_comb : bool;
   mutable dirty : bool;
   mutable registered : bool;
+  mutable rec_stamp : int;
+  mutable rec_id : int;
+      (* cached flight-recorder intern id (see Signal); lets the kernel
+         record Comp_eval events without hashing the component name *)
 }
 
 let nop () = ()
@@ -33,6 +37,8 @@ let make ?reads ?state ?comb ?seq name =
     has_comb = Option.is_some comb;
     dirty = false;
     registered = false;
+    rec_stamp = 0;
+    rec_id = -1;
   }
 
 let name t = t.name

@@ -39,6 +39,9 @@ type t = {
   has_comb : bool;  (** false when no [comb] was supplied (callback is a nop) *)
   mutable dirty : bool;  (** kernel-owned: queued for (re-)evaluation *)
   mutable registered : bool;  (** kernel-owned: fan-out listeners attached *)
+  mutable rec_stamp : int;
+      (** kernel-owned: flight-recorder stamp validating [rec_id] *)
+  mutable rec_id : int;  (** kernel-owned: cached recorder intern id *)
 }
 
 val make :

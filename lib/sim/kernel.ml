@@ -25,6 +25,12 @@ type t = {
       (* state-sensitive components, re-marked dirty at every settle *)
   mutable has_always : bool;
   mutable n_dirty : int;
+  (* flight recorder (Obs.recorder obs, cached to skip the option chase on
+     the hot path) plus interned subject ids for the kernel itself and the
+     registered checks *)
+  rec_ : Recorder.t option;
+  rec_kernel_id : int;
+  mutable check_ids : int array;
   comb_hist : Metrics.histogram;
   cycles_counter : Metrics.counter;
   checks_counter : Metrics.counter;
@@ -45,7 +51,12 @@ exception Check_failed of { cycle : int; check : string; message : string }
 let create ?(max_comb_iters = 64) ?(sched = `Event) ?obs () =
   let obs = match obs with Some o -> o | None -> Obs.create () in
   let m = Obs.metrics obs in
+  let rec_ = Obs.recorder obs in
   {
+    rec_;
+    rec_kernel_id =
+      (match rec_ with Some r -> Recorder.intern r "kernel" | None -> -1);
+    check_ids = [||];
     max_comb_iters;
     sched;
     obs;
@@ -97,9 +108,26 @@ let mark_dirty t (c : Component.t) =
     t.n_dirty <- t.n_dirty + 1
   end
 
+(* cold only on the first evaluation per (component, recorder) pair *)
+let record_eval r (c : Component.t) =
+  let id =
+    if c.Component.rec_stamp = Recorder.stamp r then c.Component.rec_id
+    else begin
+      let id = Recorder.intern r c.Component.name in
+      c.Component.rec_stamp <- Recorder.stamp r;
+      c.Component.rec_id <- id;
+      id
+    end
+  in
+  Recorder.comp_eval r ~subject:id
+
 let seal t =
   t.comps_fwd <- Array.of_list (List.rev t.components);
   t.checks_fwd <- Array.of_list (List.rev t.checks);
+  (match t.rec_ with
+  | Some r ->
+      t.check_ids <- Array.map (fun (name, _) -> Recorder.intern r name) t.checks_fwd
+  | None -> t.check_ids <- [||]);
   t.hooks_fwd <- Array.of_list (List.rev t.hooks);
   t.settle_hooks_fwd <- Array.of_list (List.rev t.settle_hooks);
   t.has_always <- false;
@@ -136,7 +164,14 @@ let settle t =
           if i >= t.max_comb_iters then
             raise (Comb_divergence { cycle = t.cycle_count; iterations = i });
           let before = Signal.change_count () in
-          Array.iter (fun (c : Component.t) -> c.Component.comb ()) comps;
+          (match t.rec_ with
+          | None -> Array.iter (fun (c : Component.t) -> c.Component.comb ()) comps
+          | Some r ->
+              Array.iter
+                (fun (c : Component.t) ->
+                  c.Component.comb ();
+                  record_eval r c)
+                comps);
           if Signal.change_count () <> before then go (i + 1) else i + 1
         in
         let iters = go 0 in
@@ -148,15 +183,14 @@ let settle t =
            the sweep); evaluations mark their fan-out dirty for this pass
            (later components) or the next one (earlier components) *)
         Array.iter (fun c -> mark_dirty t c) t.edge_comps;
-        let rec go i =
-          if t.n_dirty = 0 && not t.has_always then i
-          else if i >= t.max_comb_iters then
-            raise (Comb_divergence { cycle = t.cycle_count; iterations = i })
-          else begin
-            let before = Signal.change_count () in
-            Array.iter
-              (fun (c : Component.t) ->
-                match c.Component.sensitivity with
+        (* the recorder branch is resolved once per settle, not once per
+           component visit — the two step closures differ only in the
+           [record_eval] *)
+        let step =
+          match t.rec_ with
+          | None ->
+              fun (c : Component.t) ->
+                (match c.Component.sensitivity with
                 | Component.Always ->
                     c.Component.comb ();
                     incr evals
@@ -167,7 +201,29 @@ let settle t =
                       c.Component.comb ();
                       incr evals
                     end)
-              comps;
+          | Some r ->
+              fun (c : Component.t) ->
+                (match c.Component.sensitivity with
+                | Component.Always ->
+                    c.Component.comb ();
+                    record_eval r c;
+                    incr evals
+                | Component.Reads _ ->
+                    if c.Component.dirty then begin
+                      c.Component.dirty <- false;
+                      t.n_dirty <- t.n_dirty - 1;
+                      c.Component.comb ();
+                      record_eval r c;
+                      incr evals
+                    end)
+        in
+        let rec go i =
+          if t.n_dirty = 0 && not t.has_always then i
+          else if i >= t.max_comb_iters then
+            raise (Comb_divergence { cycle = t.cycle_count; iterations = i })
+          else begin
+            let before = Signal.change_count () in
+            Array.iter step comps;
             if Signal.change_count () <> before || t.n_dirty > 0 then go (i + 1)
             else i + 1
           end
@@ -179,14 +235,35 @@ let settle t =
   if Obs.active t.obs then begin
     Metrics.observe t.comb_hist iters;
     Metrics.add t.evals_counter !evals
-  end
+  end;
+  match t.rec_ with
+  | Some r -> Recorder.sched_pass r ~subject:t.rec_kernel_id ~iters
+  | None -> ()
 
 let cycle t =
   (* guarded: [Obs.none] is one value shared by every kernel that opted
      out, including kernels in other pool domains — never write to it *)
   if Obs.active t.obs then Obs.set_now t.obs t.cycle_count;
+  (* (re-)point the domain-local signal store at this kernel's recorder —
+     [None] detaches, so an opted-out kernel never records into the ring
+     of whichever instrumented kernel ran before it in this domain *)
+  Signal.attach_recorder t.rec_;
   settle t;
-  Array.iter (fun (_, f) -> f t.cycle_count) t.checks_fwd;
+  (match t.rec_ with
+  | None -> Array.iter (fun (_, f) -> f t.cycle_count) t.checks_fwd
+  | Some r -> (
+      (* the last events a failing run records are its own check
+         evaluation and the failure itself — the dump ends at the bug.
+         One handler outside the loop (the failing check's name rides on
+         the exception), so the per-check cost is one recorded event. *)
+      try
+        for i = 0 to Array.length t.checks_fwd - 1 do
+          Recorder.check_eval r ~subject:(Array.unsafe_get t.check_ids i);
+          (snd (Array.unsafe_get t.checks_fwd i)) t.cycle_count
+        done
+      with Check_failed { check; message; _ } as e ->
+        Recorder.check_fail r ~subject:(Recorder.intern r check) ~message;
+        raise e));
   (match Array.length t.checks_fwd with
   | 0 -> ()
   | n ->

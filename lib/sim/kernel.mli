@@ -28,7 +28,16 @@
 
     Every kernel owns a {!Splice_obs.Obs.t} observability context (cycle
     histogram of delta passes, cycle/check/eval counters); instrumented
-    components reach it through {!obs}. *)
+    components reach it through {!obs}.
+
+    When the context carries a flight recorder ([Obs.recorder], the
+    default), the kernel additionally records the post-mortem event
+    stream: it re-attaches the recorder to the domain-local signal store
+    every cycle (so each actual signal transition lands in the ring), logs
+    one [Comp_eval] per combinational evaluation, one [Sched_pass] per
+    settled cycle, one [Check_eval] per protocol-check execution, and —
+    immediately before a {!Check_failed} propagates — a [Check_fail]
+    event, so a dump taken at the catch site ends at the violation. *)
 
 type t
 

@@ -1,4 +1,5 @@
 open Splice_bits
+open Splice_obs
 
 type t = {
   name : string;
@@ -10,6 +11,10 @@ type t = {
   mutable commit_stamp : int;
       (* generation stamp of the last [commit_pending] epoch that wrote this
          signal; gives O(1) last-write-wins during the commit scan *)
+  mutable rec_stamp : int;
+  mutable rec_id : int;
+      (* cached flight-recorder intern id, valid while rec_stamp matches the
+         attached recorder's stamp — a recorded transition never hashes *)
 }
 
 (* The signal store (change counter, deferred-write queue, name counter,
@@ -23,11 +28,20 @@ type store = {
   mutable s_pending : (t * Bits.t) list;
   mutable counter : int;
   mutable commit_epoch : int;
+  mutable s_recorder : Recorder.t option;
+      (* the cycling kernel's flight recorder (re-attached every cycle);
+         every actual value change in this domain is recorded into it *)
 }
 
 let store_key : store Domain.DLS.key =
   Domain.DLS.new_key (fun () ->
-      { changes = 0; s_pending = []; counter = 0; commit_epoch = 0 })
+      {
+        changes = 0;
+        s_pending = [];
+        counter = 0;
+        commit_epoch = 0;
+        s_recorder = None;
+      })
 
 let store () = Domain.DLS.get store_key
 
@@ -37,7 +51,15 @@ let create ?name width =
   let name =
     match name with Some n -> n | None -> Printf.sprintf "sig%d" st.counter
   in
-  { name; width; value = Bits.zero width; listeners = []; commit_stamp = 0 }
+  {
+    name;
+    width;
+    value = Bits.zero width;
+    listeners = [];
+    commit_stamp = 0;
+    rec_stamp = 0;
+    rec_id = -1;
+  }
 
 let name t = t.name
 let width t = t.width
@@ -46,6 +68,22 @@ let get_bool t = Bits.to_bool t.value
 let get_int t = Bits.to_int t.value
 
 let on_change t f = t.listeners <- f :: t.listeners
+
+let attach_recorder r = (store ()).s_recorder <- r
+
+(* cold only on the first transition per (signal, recorder) pair *)
+let record_change r t =
+  let id =
+    if t.rec_stamp = Recorder.stamp r then t.rec_id
+    else begin
+      let id = Recorder.intern r t.name in
+      t.rec_stamp <- Recorder.stamp r;
+      t.rec_id <- id;
+      id
+    end
+  in
+  (* low 63 bits: only full 64-bit signals truncate, and only in the dump *)
+  Recorder.signal_change r ~subject:id ~value:(Int64.to_int (Bits.to_int64 t.value))
 
 let set t v =
   if Bits.width v <> t.width then
@@ -57,6 +95,7 @@ let set t v =
     t.value <- v;
     let st = store () in
     st.changes <- st.changes + 1;
+    (match st.s_recorder with None -> () | Some r -> record_change r t);
     match t.listeners with
     | [] -> ()
     | ls -> List.iter (fun f -> f ()) ls

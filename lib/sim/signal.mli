@@ -57,6 +57,15 @@ val on_change : t -> (unit -> unit) -> unit
     event-driven kernel uses this to mark reader components dirty; listeners
     must be cheap, must not drive signals, and cannot be removed. *)
 
+val attach_recorder : Splice_obs.Recorder.t option -> unit
+(** Point the domain-local signal store at a flight recorder (or detach
+    with [None]): every subsequent {e actual} value change in this domain
+    — immediate {!set} or committed {!set_next} — is recorded as a
+    [Signal_change] event. The cycling kernel re-attaches its own
+    recorder at the start of every cycle, so interleaved kernels in one
+    domain never record into each other's rings. Intern ids are cached on
+    the signal (keyed by the recorder's stamp): recording never hashes. *)
+
 val commit_pending : unit -> unit
 (** Apply all queued {!set_next} writes. Called by the kernel. *)
 

@@ -219,7 +219,68 @@ let diff_tests =
                 (* the shrunk spec still reproduces and is minimal enough to
                    read: a handful of functions at most *)
                 check_bool "shrunk spec is small" true
-                  (List.length f.Diff.f_spec.Specgen.g_funcs <= 2)));
+                  (List.length f.Diff.f_spec.Specgen.g_funcs <= 2);
+                (* every counterexample ships its flight-recorder dump *)
+                match f.Diff.f_dump with
+                | None -> Alcotest.fail "failure carried no dump"
+                | Some dump -> (
+                    match Query.of_string dump with
+                    | Error e -> Alcotest.failf "dump does not parse: %s" e
+                    | Ok d ->
+                        check_bool "dump window is non-empty" true
+                          (d.Query.d_events <> []);
+                        Alcotest.(check (option string))
+                          "dump context is the failure message"
+                          (Some f.Diff.f_message) d.Query.d_context;
+                        check_bool "signal transitions captured" true
+                          (Query.filter ~kinds:[ Recorder.Signal_change ] d
+                          <> []))));
+    t "failure dumps are byte-identical at -j 1 and -j 4" (fun () ->
+        (* the dump is part of the shrunk counterexample, so the PR 4
+           determinism contract extends to it: same seed, same bytes,
+           whatever the worker count *)
+        let module Buggy = struct
+          include Plb
+
+          let caps = { Plb.caps with Bus_caps.name = "buggy" }
+
+          let connect kernel spec sis =
+            let port = Plb.connect kernel spec sis in
+            {
+              port with
+              Bus_port.bus_name = "buggy";
+              result =
+                (fun () ->
+                  List.map
+                    (fun w -> Bits.logxor w (Bits.of_int ~width:(Bits.width w) 1))
+                    (port.Bus_port.result ()));
+            }
+        end in
+        Registry.register (module Buggy);
+        Fun.protect
+          ~finally:(fun () -> Registry.unregister "buggy")
+          (fun () ->
+            let config =
+              { Diff.default_config with seed = 5; count = 20; buses = [ "buggy" ] }
+            in
+            let seq = Diff.run config in
+            let pool = Option.get (Pool.of_jobs 4) in
+            let par =
+              Fun.protect
+                ~finally:(fun () -> Pool.shutdown pool)
+                (fun () -> Diff.run ~pool config)
+            in
+            match (seq.Diff.r_failure, par.Diff.r_failure) with
+            | Some fs, Some fp ->
+                check_bool "digests agree" true
+                  (Int64.equal seq.Diff.r_digest par.Diff.r_digest);
+                (match (fs.Diff.f_dump, fp.Diff.f_dump) with
+                | Some ds, Some dp ->
+                    Alcotest.(check string) "dumps byte-identical" ds dp
+                | _ -> Alcotest.fail "a failure carried no dump");
+                Alcotest.(check string) "messages agree" fs.Diff.f_message
+                  fp.Diff.f_message
+            | _ -> Alcotest.fail "corrupting bus survived a sweep"));
   ]
 
 let tests =

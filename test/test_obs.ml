@@ -359,6 +359,338 @@ let vcd_tests =
           !ids);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Flight recorder                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let recorder_tests =
+  [
+    t "ring wraparound keeps the last capacity events" (fun () ->
+        let r = Recorder.create ~capacity:4 () in
+        let s = Recorder.intern r "s" in
+        for i = 1 to 6 do
+          Recorder.set_now r i;
+          Recorder.signal_change r ~subject:s ~value:i
+        done;
+        check_int "total counts every record" 6 (Recorder.total r);
+        let evs = Recorder.events r in
+        check_int "window is the capacity" 4 (List.length evs);
+        Alcotest.(check (list int))
+          "last four values, oldest first" [ 3; 4; 5; 6 ]
+          (List.map (fun (e : Recorder.event) -> e.Recorder.e_arg) evs);
+        Alcotest.(check (list int))
+          "cycles stamped" [ 3; 4; 5; 6 ]
+          (List.map (fun (e : Recorder.event) -> e.Recorder.e_cycle) evs));
+    t "intern is find-or-create; subject_name inverts" (fun () ->
+        let r = Recorder.create ~capacity:4 () in
+        let a = Recorder.intern r "a" and b = Recorder.intern r "b" in
+        check_bool "distinct ids" true (a <> b);
+        check_int "stable" a (Recorder.intern r "a");
+        Alcotest.(check string) "inverse" "b" (Recorder.subject_name r b));
+    t "clear forgets events, keeps interned subjects" (fun () ->
+        let r = Recorder.create ~capacity:4 () in
+        let s = Recorder.intern r "s" in
+        Recorder.signal_change r ~subject:s ~value:1;
+        Recorder.clear r;
+        check_int "no events" 0 (List.length (Recorder.events r));
+        check_int "no total" 0 (Recorder.total r);
+        check_int "same id after clear" s (Recorder.intern r "s"));
+    t "check-failure dump ends at the violation; window exact" (fun () ->
+        let obs = Obs.create ~ring:16 () in
+        let k = Kernel.create ~obs () in
+        let s = Signal.create ~name:"pulse" 1 in
+        Kernel.add k
+          (Component.make
+             ~seq:(fun () -> Signal.set_next_bool s (not (Signal.get_bool s)))
+             "toggler");
+        Kernel.add_check k "watch" (fun cycle ->
+            if cycle = 5 then Kernel.check_fail ~cycle ~check:"watch" "boom");
+        match Kernel.run k 10 with
+        | () -> Alcotest.fail "expected Check_failed"
+        | exception Kernel.Check_failed { message; _ } ->
+            Signal.clear_pending ();
+            let r = Option.get (Obs.recorder obs) in
+            let d =
+              match
+                Query.of_string
+                  (Recorder.dump_string ~context:message
+                     ~metrics:(Obs.metrics obs) r)
+              with
+              | Ok d -> d
+              | Error e -> Alcotest.fail e
+            in
+            Alcotest.(check (option string))
+              "context is the failure message" (Some "boom") d.Query.d_context;
+            check_int "ring size" 16 d.Query.d_ring;
+            check_int "window is exactly min(total, ring)"
+              (min d.Query.d_total 16)
+              (List.length d.Query.d_events);
+            check_int "dropped = total - window"
+              (max 0 (d.Query.d_total - 16))
+              d.Query.d_dropped;
+            check_bool "this run wrapped the ring" true (d.Query.d_dropped > 0);
+            (match Query.last 2 d.Query.d_events with
+            | [ ev; fl ] ->
+                check_bool "eval immediately before the failure" true
+                  (ev.Query.ev_kind = Recorder.Check_eval
+                  && fl.Query.ev_kind = Recorder.Check_fail);
+                Alcotest.(check string) "check name" "watch" fl.Query.ev_subject;
+                Alcotest.(check (option string))
+                  "failure message rode along" (Some "boom") fl.Query.ev_message;
+                check_int "failing cycle" 5 fl.Query.ev_cycle
+            | _ -> Alcotest.fail "fewer than two events");
+            check_bool "signal transitions in the window" true
+              (Query.filter ~subject:"pulse"
+                 ~kinds:[ Recorder.Signal_change ] d
+              <> []);
+            check_bool "metrics snapshot embedded" true
+              (List.mem_assoc "sim/cycles" d.Query.d_counters));
+    t "~recording:false and Obs.none carry no recorder" (fun () ->
+        check_bool "opt-out" true
+          (Obs.recorder (Obs.create ~recording:false ()) = None);
+        check_bool "none" true (Obs.recorder Obs.none = None));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Percentiles from bucketed counts                                    *)
+(* ------------------------------------------------------------------ *)
+
+let percentile_tests =
+  [
+    t "ranks landing exactly on bucket edges" (fun () ->
+        let m = Metrics.create () in
+        let h = Metrics.histogram ~limits:[| 1; 2; 4 |] m "h" in
+        List.iter (Metrics.observe h) [ 1; 2; 3; 4 ];
+        check_int "p25 -> first bucket" 1 (Metrics.percentile h 0.25);
+        check_int "p50 -> second bucket edge" 2 (Metrics.percentile h 0.50);
+        check_int "p51 -> third bucket" 4 (Metrics.percentile h 0.51);
+        check_int "p100 = observed max" 4 (Metrics.percentile h 1.0));
+    t "overflow-bucket ranks report the observed max" (fun () ->
+        let m = Metrics.create () in
+        let h = Metrics.histogram ~limits:[| 1; 2 |] m "h" in
+        List.iter (Metrics.observe h) [ 1; 100 ];
+        check_int "p50 still in range" 1 (Metrics.percentile h 0.5);
+        check_int "p100 -> vmax, not a bucket bound" 100
+          (Metrics.percentile h 1.0));
+    t "clamped to the observed max inside a wide bucket" (fun () ->
+        let m = Metrics.create () in
+        let h = Metrics.histogram ~limits:[| 16 |] m "h" in
+        Metrics.observe h 3;
+        check_int "min(limit, vmax)" 3 (Metrics.percentile h 0.5));
+    t "empty histogram and q clamping" (fun () ->
+        let m = Metrics.create () in
+        let h = Metrics.histogram ~limits:[| 1 |] m "h" in
+        check_int "empty -> 0" 0 (Metrics.percentile h 0.5);
+        Metrics.observe h 1;
+        check_int "q = 0 clamps to rank 1" 1 (Metrics.percentile h 0.0);
+        check_int "q > 1 clamps to rank n" 1 (Metrics.percentile h 2.0));
+    t "percentile_of over raw buckets with explicit overflow" (fun () ->
+        check_int "overflow rank" 99
+          (Metrics.percentile_of ~limits:[| 4 |] ~buckets:[| 1; 1 |] ~n:2
+             ~vmax:99 1.0);
+        check_int "in-range rank" 4
+          (Metrics.percentile_of ~limits:[| 4 |] ~buckets:[| 1; 1 |] ~n:2
+             ~vmax:99 0.5));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* OpenMetrics exposition                                              *)
+(* ------------------------------------------------------------------ *)
+
+let openmetrics_tests =
+  [
+    t "golden exposition of a mixed registry" (fun () ->
+        let m = Metrics.create () in
+        Metrics.add (Metrics.counter m "sim/cycles") 12;
+        Metrics.set (Metrics.gauge m "queue depth") 3;
+        let h = Metrics.histogram ~limits:[| 1; 2 |] m "bus/plb/burst" in
+        List.iter (Metrics.observe h) [ 1; 2; 5 ];
+        Alcotest.(check string) "exact text"
+          "# TYPE splice_sim_cycles counter\n\
+           splice_sim_cycles_total 12\n\
+           # TYPE splice_queue_depth gauge\n\
+           splice_queue_depth 3\n\
+           # TYPE splice_bus_plb_burst histogram\n\
+           splice_bus_plb_burst_bucket{le=\"1\"} 1\n\
+           splice_bus_plb_burst_bucket{le=\"2\"} 2\n\
+           splice_bus_plb_burst_bucket{le=\"+Inf\"} 3\n\
+           splice_bus_plb_burst_count 3\n\
+           splice_bus_plb_burst_sum 8\n\
+           # EOF\n"
+          (Openmetrics.of_metrics m));
+    t "every line is a family declaration, a sample, or the EOF" (fun () ->
+        let m = Metrics.create () in
+        Metrics.incr (Metrics.counter m "a/b");
+        ignore (Metrics.histogram m "c");
+        let lines =
+          String.split_on_char '\n' (Openmetrics.of_metrics m)
+          |> List.filter (fun l -> l <> "")
+        in
+        check_bool "non-empty" true (List.length lines > 0);
+        Alcotest.(check string) "terminator" "# EOF"
+          (List.nth lines (List.length lines - 1));
+        List.iter
+          (fun l ->
+            let is_comment = String.length l >= 1 && l.[0] = '#' in
+            let is_sample =
+              match String.index_opt l ' ' with
+              | Some i ->
+                  String.length l > i + 1
+                  && String.for_all
+                       (function
+                         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':'
+                         | '{' | '}' | '"' | '=' | '+' ->
+                             true
+                         | _ -> false)
+                       (String.sub l 0 i)
+              | None -> false
+            in
+            check_bool ("well-formed: " ^ l) true (is_comment || is_sample))
+          lines);
+    t "sanitize prefixes and replaces non-name characters" (fun () ->
+        Alcotest.(check string) "slashes" "splice_bus_plb_x"
+          (Openmetrics.sanitize "bus/plb/x");
+        Alcotest.(check string) "spaces and dashes" "splice_a_b_c"
+          (Openmetrics.sanitize "a b-c"));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Trace query engine                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let query_tests =
+  [
+    t "filter by subject, kind and cycle range" (fun () ->
+        let r = Recorder.create ~capacity:32 () in
+        let a = Recorder.intern r "a" and b = Recorder.intern r "b" in
+        Recorder.set_now r 1;
+        Recorder.signal_change r ~subject:a ~value:1;
+        Recorder.set_now r 2;
+        Recorder.signal_change r ~subject:b ~value:2;
+        Recorder.set_now r 3;
+        Recorder.comp_eval r ~subject:a;
+        let d = Result.get_ok (Query.of_string (Recorder.dump_string r)) in
+        check_int "by subject" 2 (List.length (Query.filter ~subject:"a" d));
+        check_int "by kind" 2
+          (List.length (Query.filter ~kinds:[ Recorder.Signal_change ] d));
+        check_int "by range" 2
+          (List.length (Query.filter ~from_cycle:2 ~to_cycle:3 d));
+        check_int "conjunction" 1
+          (List.length
+             (Query.filter ~subject:"a" ~kinds:[ Recorder.Signal_change ] d));
+        Alcotest.(check (list string)) "subjects" [ "a"; "b" ] (Query.subjects d);
+        check_int "last trims from the front" 1
+          (List.length (Query.last 1 d.Query.d_events)));
+    t "latency rows pair begins with ends per track" (fun () ->
+        let r = Recorder.create ~capacity:64 () in
+        let p = Recorder.intern r "bus/plb" in
+        let q = Recorder.intern r "bus/opb" in
+        let txn track ~begin_at ~end_at =
+          Recorder.set_now r begin_at;
+          Recorder.txn_begin r ~subject:track ~words:1;
+          Recorder.set_now r end_at;
+          Recorder.txn_end r ~subject:track
+        in
+        txn p ~begin_at:0 ~end_at:2;
+        txn p ~begin_at:10 ~end_at:14;
+        txn p ~begin_at:20 ~end_at:28;
+        txn q ~begin_at:0 ~end_at:100;
+        (* a begin whose end fell outside the window must be dropped *)
+        Recorder.set_now r 200;
+        Recorder.txn_begin r ~subject:p ~words:1;
+        let d = Result.get_ok (Query.of_string (Recorder.dump_string r)) in
+        Alcotest.(check (list (pair string int)))
+          "samples in window order"
+          [ ("bus/plb", 2); ("bus/plb", 4); ("bus/plb", 8); ("bus/opb", 100) ]
+          (Query.latency_samples d);
+        match Query.latency_rows d with
+        | [ opb; plb ] ->
+            Alcotest.(check string) "sorted by track" "bus/opb" opb.Query.lr_track;
+            check_int "opb count" 1 opb.Query.lr_count;
+            check_int "opb p50 clamps to its max" 100 opb.Query.lr_p50;
+            Alcotest.(check string) "plb second" "bus/plb" plb.Query.lr_track;
+            check_int "plb count" 3 plb.Query.lr_count;
+            check_int "plb p50 on a bucket edge" 4 plb.Query.lr_p50;
+            check_int "plb p99 -> max sample's bucket" 8 plb.Query.lr_p99;
+            check_int "plb max exact" 8 plb.Query.lr_max
+        | rows -> Alcotest.failf "expected 2 rows, got %d" (List.length rows));
+    t "flamegraph collapses component evals into weighted stacks" (fun () ->
+        let r = Recorder.create ~capacity:32 () in
+        let a = Recorder.intern r "adapter/plb" in
+        let b = Recorder.intern r "stub" in
+        Recorder.comp_eval r ~subject:a;
+        Recorder.comp_eval r ~subject:a;
+        Recorder.comp_eval r ~subject:b;
+        let d = Result.get_ok (Query.of_string (Recorder.dump_string r)) in
+        Alcotest.(check string) "collapsed stacks"
+          "kernel;adapter;plb 2\nkernel;stub 1\n" (Query.flamegraph d));
+    t "dump openmetrics re-exposes the embedded snapshot" (fun () ->
+        let obs = Obs.create () in
+        let m = Obs.metrics obs in
+        Metrics.add (Metrics.counter m "sim/cycles") 5;
+        let r = Option.get (Obs.recorder obs) in
+        let d =
+          Result.get_ok (Query.of_string (Recorder.dump_string ~metrics:m r))
+        in
+        let txt = Query.openmetrics d in
+        check_bool "counter exposed" true
+          (Astring_contains.contains txt "splice_sim_cycles_total 5");
+        check_bool "terminated" true
+          (let n = String.length txt in
+           n >= 6 && String.sub txt (n - 6) 6 = "# EOF\n"));
+    t "a real host run records transactions, passes and signals" (fun () ->
+        let spec = spec_of "void f(int*:4 xs);" in
+        let obs = Obs.create () in
+        let host =
+          Host.create ~obs spec ~behaviors:(fun _ ->
+              Stub_model.behavior ~cycles:2 (fun _ -> [ 0L ]))
+        in
+        let _ = Host.call host ~func:"f" ~args:[ ("xs", [ 1L; 2L; 3L; 4L ]) ] in
+        let r = Option.get (Obs.recorder obs) in
+        let d = Result.get_ok (Query.of_string (Recorder.dump_string r)) in
+        let begins = Query.filter ~kinds:[ Recorder.Txn_begin ] d in
+        check_bool "transactions recorded" true (begins <> []);
+        List.iter
+          (fun e ->
+            Alcotest.(check string) "track" "bus/plb" e.Query.ev_subject)
+          begins;
+        check_bool "latency rows reconstructed" true (Query.latency_rows d <> []);
+        check_bool "scheduler passes recorded" true
+          (Query.filter ~kinds:[ Recorder.Sched_pass ] d <> []);
+        check_bool "signal transitions recorded" true
+          (Query.filter ~kinds:[ Recorder.Signal_change ] d <> []);
+        check_bool "summary renders the latency table" true
+          (Astring_contains.contains (Query.summary d) "bus/plb"));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Obs.merge symmetry                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let merge_tests =
+  [
+    t "merge is a no-op when either side is disabled" (fun () ->
+        let live = Obs.create () in
+        Metrics.incr (Metrics.counter (Obs.metrics live) "n");
+        Obs.merge ~into:live Obs.none;
+        check_int "disabled src contributes nothing" 1
+          (Metrics.counter_value (Obs.metrics live) "n");
+        Obs.merge ~into:Obs.none live;
+        check_int "the shared [none] never accumulates" 0
+          (Metrics.counter_value (Obs.metrics Obs.none) "n"));
+    t "merging a context into itself is rejected" (fun () ->
+        let o = Obs.create () in
+        match Obs.merge ~into:o o with
+        | () -> Alcotest.fail "expected Invalid_argument"
+        | exception Invalid_argument _ -> ());
+    t "enabled contexts merge by summing" (fun () ->
+        let a = Obs.create () and b = Obs.create () in
+        Metrics.add (Metrics.counter (Obs.metrics a) "n") 2;
+        Metrics.add (Metrics.counter (Obs.metrics b) "n") 3;
+        Obs.merge ~into:a b;
+        check_int "summed" 5 (Metrics.counter_value (Obs.metrics a) "n"));
+  ]
+
 let tests =
   [
     ("obs.metrics", metrics_tests);
@@ -368,4 +700,9 @@ let tests =
     ("obs.sis", sis_tests);
     ("obs.breakdown", breakdown_tests);
     ("obs.vcd", vcd_tests);
+    ("obs.recorder", recorder_tests);
+    ("obs.percentile", percentile_tests);
+    ("obs.openmetrics", openmetrics_tests);
+    ("obs.query", query_tests);
+    ("obs.merge", merge_tests);
   ]
