@@ -136,6 +136,33 @@ let bench_cycles_instrumented =
            (Splice.Interpolator.run (Lazy.force host)
               (Splice.Interp_scenarios.by_id 1))))
 
+(* Functional coverage overhead: the same driver call with the full PLB
+   protocol coverage group attached — cycle-level phase/wait sampling on
+   every settle plus the adapter engine's transaction-level points
+   (resolved once at engine creation via the ambient map). *)
+let bench_cycles_covered =
+  let host =
+    lazy
+      (let c = Splice.Cover.create () in
+       let caps = Splice.Registry.lookup_caps "plb" in
+       Splice.Bus_cover.declare c ~bus:"plb" ~caps;
+       Splice.Cover.set_ambient (Some c);
+       let h =
+         Fun.protect
+           ~finally:(fun () -> Splice.Cover.set_ambient None)
+           (fun () ->
+             Splice.Interpolator.make_host Splice.Interpolator.Splice_plb_simple)
+       in
+       Splice.Bus_cover.attach c ~bus:"plb" ~caps (Splice.Host.kernel h)
+         (Splice.Host.sis h);
+       h)
+  in
+  Test.make ~name:"driver call, coverage sampling on"
+    (Staged.stage (fun () ->
+         ignore
+           (Splice.Interpolator.run (Lazy.force host)
+              (Splice.Interp_scenarios.by_id 1))))
+
 let bench_stubgen =
   Test.make ~name:"single stub generation (VHDL)"
     (Staged.stage (fun () ->
@@ -155,6 +182,7 @@ let benchmarks =
     bench_cycles_uninstrumented;
     bench_cycles_metrics_only;
     bench_cycles_instrumented;
+    bench_cycles_covered;
   ]
 
 (* E16: the recorder-overhead delta, measured paired. Identical-config

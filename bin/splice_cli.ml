@@ -6,7 +6,8 @@
    splice buses                 list registered bus adapters
    splice eval                  reproduce the Ch 9 evaluation tables
    splice fuzz                  differential conformance fuzzing
-   splice trace  DUMP           query a flight-recorder failure dump *)
+   splice trace  DUMP           query a flight-recorder failure dump
+   splice cover  MAP            report a functional-coverage map *)
 
 open Cmdliner
 
@@ -368,7 +369,30 @@ let fuzz_cmd =
              violation) to $(docv), ready for $(b,splice trace). No file \
              is written when the sweep passes.")
   in
-  let run seed count bus sched quiet jobs json record =
+  let cover =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cover" ] ~docv:"FILE"
+          ~doc:
+            "Collect functional coverage (per-bus protocol phase, burst, \
+             wait-state and grant coverpoints) and write the merged map to \
+             $(docv) as JSON, ready for $(b,splice cover). Also turns on \
+             coverage-guided seed scheduling — new iterations bias toward \
+             spec shapes whose bins are still empty — unless \
+             $(b,--no-guide) is given. The map is byte-identical at any \
+             $(b,-j).")
+  in
+  let no_guide =
+    Arg.(
+      value & flag
+      & info [ "no-guide" ]
+          ~doc:
+            "With $(b,--cover): keep collecting coverage but use plain \
+             random (canonical per-iteration) seeds — the baseline side of \
+             experiment E17.")
+  in
+  let run seed count bus sched quiet jobs json record cover no_guide =
     let seed =
       match seed with
       | Some s -> s
@@ -389,7 +413,17 @@ let fuzz_cmd =
       | `Both -> [ `Event; `Sweep ]
       | (`Event | `Sweep) as s -> [ s ]
     in
-    let config = { Splice.Diff.default_config with seed; count; buses; scheds } in
+    let config =
+      {
+        Splice.Diff.default_config with
+        seed;
+        count;
+        buses;
+        scheds;
+        cover = cover <> None;
+        guide = cover <> None && not no_guide;
+      }
+    in
     Printf.printf "splice fuzz: seed=%d count=%d buses=%s scheds=%s jobs=%d\n%!"
       seed count
       (String.concat ","
@@ -404,13 +438,26 @@ let fuzz_cmd =
       report.Splice.Diff.r_iterations * List.length report.Splice.Diff.r_buses
     in
     let ok = report.Splice.Diff.r_failure = None in
+    let pct h t = if t = 0 then 100.0 else 100.0 *. float_of_int h /. float_of_int t in
+    let cover_summary =
+      Option.map
+        (fun c ->
+          let h, t = Splice.Cover.totals c in
+          let ph, pt =
+            Splice.Cover.totals ~prefix:"bus/"
+              ~points:[ "phase"; "phase_seq" ] c
+          in
+          (c, h, t, ph, pt))
+        report.Splice.Diff.r_cover
+    in
     Option.iter
       (fun path ->
         let safe_rate n = if wall > 0. then float_of_int n /. wall else 0. in
         Splice.Export.write_file path
-          (Splice.Json.to_string
+          (let open Splice.Json in
+           to_string
              (Obj
-                [
+                ([
                   ("seed", Int seed);
                   ("count", Int count);
                   ("jobs", Int jobs);
@@ -434,9 +481,51 @@ let fuzz_cmd =
                     String (Printf.sprintf "0x%016Lx" report.Splice.Diff.r_digest)
                   );
                   ("ok", Bool ok);
-                ]));
+                ]
+                @
+                 match cover_summary with
+                | None -> []
+                | Some (_, h, t, ph, pt) ->
+                    [
+                      ( "cover",
+                        Splice.Json.Obj
+                          [
+                            ("bins_hit", Splice.Json.Int h);
+                            ("bins_total", Int t);
+                            ("phase_hit", Int ph);
+                            ("phase_total", Int pt);
+                            ("guided", Bool config.Splice.Diff.guide);
+                            ( "trajectory",
+                              List
+                                (List.map
+                                   (fun (it, hh, tt) ->
+                                     Splice.Json.Obj
+                                       [
+                                         ("iterations", Splice.Json.Int it);
+                                         ("bins_hit", Int hh);
+                                         ("bins_total", Int tt);
+                                       ])
+                                   report.Splice.Diff.r_trajectory) );
+                          ] );
+                    ])));
         Printf.printf "wrote fuzz summary to %s\n" path)
       json;
+    (match (cover, cover_summary) with
+    | Some path, Some (c, h, t, ph, pt) ->
+        Splice.Cover.save c path;
+        Printf.printf
+          "coverage: %d/%d bins (%.1f%%); protocol phases: %d/%d (%.1f%%)\n" h
+          t (pct h t) ph pt (pct ph pt);
+        if report.Splice.Diff.r_trajectory <> [] then
+          Printf.printf "coverage trajectory (iterations:bins hit): %s\n"
+            (String.concat "  "
+               (List.map
+                  (fun (it, hh, _) -> Printf.sprintf "%d:%d" it hh)
+                  report.Splice.Diff.r_trajectory));
+        Printf.printf
+          "wrote coverage map to %s (inspect with `splice cover %s`)\n" path
+          path
+    | _ -> ());
     match report.Splice.Diff.r_failure with
     | None ->
         Printf.printf
@@ -472,13 +561,16 @@ let fuzz_cmd =
           golden-model data equality and scheduler cycle-count agreement. \
           Prints a reproduction command on failure.")
     Term.(
-      const run $ seed $ count $ bus $ sched $ quiet $ jobs_arg $ json $ record)
+      const run $ seed $ count $ bus $ sched $ quiet $ jobs_arg $ json $ record
+      $ cover $ no_guide)
 
 let trace_cmd =
+  (* [some string], not [some file]: a missing path must reach [Query.load]
+     so every bad-dump mode exits through the same one-line diagnostic *)
   let dump_arg =
     Arg.(
       required
-      & pos 0 (some file) None
+      & pos 0 (some string) None
       & info [] ~docv:"DUMP"
           ~doc:
             "Flight-recorder dump (JSON), e.g. the file written by \
@@ -591,6 +683,86 @@ let trace_cmd =
       const run $ dump_arg $ signal $ component $ from_c $ to_c $ last $ flame
       $ openm)
 
+let cover_cmd =
+  let map_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"MAP"
+          ~doc:
+            "Coverage map (JSON), e.g. the file written by $(b,splice fuzz \
+             --cover).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Re-emit the map in its canonical JSON form instead of the \
+                report.")
+  in
+  let openm =
+    Arg.(
+      value & flag
+      & info [ "openmetrics" ]
+          ~doc:
+            "Emit the map as an OpenMetrics/Prometheus text exposition (one \
+             counter per bin plus bins_hit/bins_total gauges) instead of \
+             the report.")
+  in
+  let fail_under =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "fail-under" ] ~docv:"PCT"
+          ~doc:
+            "Exit non-zero if protocol-phase coverage — the phase and \
+             phase_seq bins across the per-bus groups — is below $(docv) \
+             percent. This is the CI regression gate.")
+  in
+  let run path json openm fail_under =
+    match Splice.Cover.load path with
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        1
+    | Ok c -> (
+        if json then print_endline (Splice.Cover.to_string c)
+        else if openm then print_string (Splice.Cover.openmetrics c)
+        else print_string (Splice.Cover.report c);
+        match fail_under with
+        | None -> 0
+        | Some floor ->
+            let h, t =
+              Splice.Cover.totals ~prefix:"bus/"
+                ~points:[ "phase"; "phase_seq" ] c
+            in
+            let have =
+              if t = 0 then 0.0
+              else 100.0 *. float_of_int h /. float_of_int t
+            in
+            if have +. 1e-9 < floor then begin
+              Printf.eprintf
+                "error: protocol-phase coverage %.1f%% (%d/%d bins) is below \
+                 the %.1f%% floor\n"
+                have h t floor;
+              1
+            end
+            else begin
+              Printf.printf
+                "protocol-phase coverage %.1f%% (%d/%d bins) meets the \
+                 %.1f%% floor\n"
+                have h t floor;
+              0
+            end)
+  in
+  Cmd.v
+    (Cmd.info "cover"
+       ~doc:
+         "Report a functional-coverage map written by $(b,splice fuzz \
+          --cover): per-group hit/hole listing with a percentage summary, \
+          or JSON / OpenMetrics expositions; optionally enforce a \
+          protocol-phase coverage floor.")
+    Term.(const run $ map_arg $ json $ openm $ fail_under)
+
 let () =
   let info =
     Cmd.info "splice" ~version:Splice.version
@@ -600,4 +772,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ check_cmd; gen_cmd; plan_cmd; buses_cmd; markers_cmd; lint_cmd;
-            eval_cmd; fuzz_cmd; trace_cmd ]))
+            eval_cmd; fuzz_cmd; trace_cmd; cover_cmd ]))

@@ -54,6 +54,10 @@ type t = {
      "bus/<name>" track id, resolved once at engine creation *)
   rec_ : Recorder.t option;
   rec_track : int;
+  (* transaction-level coverpoints of the domain's ambient coverage map
+     (if one is installed and declared for this bus), resolved once at
+     engine creation — same interning discipline as [rec_track] *)
+  cover_txn : Splice_cover.Bus_cover.txn option;
 }
 
 let deassert t =
@@ -92,6 +96,18 @@ let begin_request t req =
   (match t.rec_ with
   | Some r ->
       Recorder.txn_begin r ~subject:t.rec_track
+        ~words:(Bus_port.words_of_req req)
+  | None -> ());
+  (match t.cover_txn with
+  | Some pts ->
+      let dir, func_id =
+        match req with
+        | Bus_port.Write { func_id; _ } -> (`Write, func_id)
+        | Bus_port.Read { func_id; _ } -> (`Read, func_id)
+        | Bus_port.Dma_write { func_id; _ } -> (`Dma_write, func_id)
+        | Bus_port.Dma_read { func_id; _ } -> (`Dma_read, func_id)
+      in
+      Splice_cover.Bus_cover.sample_txn pts ~func_id ~dir
         ~words:(Bus_port.words_of_req req)
   | None -> ());
   if Obs.active t.obs then begin
@@ -298,6 +314,10 @@ let make ?(obs = Obs.none) cfg sis =
       req_span = Tracer.null_span;
       rec_;
       rec_track;
+      cover_txn =
+        Option.bind
+          (Splice_cover.Cover.ambient ())
+          (fun c -> Splice_cover.Bus_cover.find_txn c ~bus:cfg.name);
     }
   in
   t.comp <- Component.make ~seq:(seq t) ("adapter:" ^ cfg.name);

@@ -10,10 +10,24 @@ type config = {
   buses : string list;
   scheds : Kernel.sched list;
   max_cycles : int;
+  cover : bool;
+  guide : bool;
+  guide_candidates : int;
+  guide_batch : int;
 }
 
 let default_config =
-  { seed = 0; count = 50; buses = []; scheds = [ `Event; `Sweep ]; max_cycles = 20_000 }
+  {
+    seed = 0;
+    count = 50;
+    buses = [];
+    scheds = [ `Event; `Sweep ];
+    max_cycles = 20_000;
+    cover = false;
+    guide = false;
+    guide_candidates = 8;
+    guide_batch = 10;
+  }
 
 type failure = {
   f_iteration : int;
@@ -32,6 +46,8 @@ type report = {
   r_buses : string list;
   r_failure : failure option;
   r_digest : int64;
+  r_cover : Splice_cover.Cover.t option;
+  r_trajectory : (int * int * int) list;
 }
 
 let sched_name = function `Event -> "event" | `Sweep -> "sweep"
@@ -97,7 +113,7 @@ let dump_of host msg =
 
 (* Run one spec's traffic on one bus under one scheduler with every monitor
    attached. Returns per-call cycle counts (for the E14 cross-check). *)
-let exec ~max_cycles ~iseed g bus sched =
+let exec ~max_cycles ~iseed ~cover g bus sched =
   match Specgen.validate (Specgen.with_bus g bus) with
   | Error e ->
       Error (None, Printf.sprintf "spec does not validate on %s: %s" bus e, None)
@@ -108,11 +124,28 @@ let exec ~max_cycles ~iseed g bus sched =
            default-name counter so any sigN in a failure message is a
            function of this run alone, not of pool scheduling *)
         Signal.reset_names ();
+        (* the adapter engine is created inside [Host.create]; it picks
+           its transaction coverpoints out of the ambient map, so the map
+           must be installed (and the bus's group declared) first *)
+        let caps = Registry.lookup_caps bus in
+        Option.iter
+          (fun c -> Splice_cover.Bus_cover.declare c ~bus ~caps)
+          cover;
         let host =
-          Host.create ~sched spec
-            ~behaviors:(Specgen.behavior ~calc_cycles:tr.Specgen.t_calc_cycles)
+          Fun.protect
+            ~finally:(fun () -> Splice_cover.Cover.set_ambient None)
+            (fun () ->
+              Splice_cover.Cover.set_ambient cover;
+              Host.create ~sched spec
+                ~behaviors:
+                  (Specgen.behavior ~calc_cycles:tr.Specgen.t_calc_cycles))
         in
         Bus_monitor.attach (Host.kernel host) ~bus (Host.sis host);
+        Option.iter
+          (fun c ->
+            Splice_cover.Bus_cover.attach c ~bus ~caps (Host.kernel host)
+              (Host.sis host))
+          cover;
         let fail func msg = raise (Call_failed (func, msg, dump_of host msg)) in
         List.map
           (fun (c : Specgen.call) ->
@@ -166,11 +199,11 @@ let exec ~max_cycles ~iseed g bus sched =
 
 (* One (spec, bus) cell of the matrix: every scheduler, then the E14
    cycle-count cross-check between them. Returns the calls executed. *)
-let exec_bus ~max_cycles ~iseed g bus scheds =
+let exec_bus ~max_cycles ~iseed ~cover g bus scheds =
   let rec go acc = function
     | [] -> Ok (List.rev acc)
     | sched :: rest -> (
-        match exec ~max_cycles ~iseed g bus sched with
+        match exec ~max_cycles ~iseed ~cover g bus sched with
         | Ok cycles -> go ((sched, cycles) :: acc) rest
         | Error (func, msg, dump) -> Error (sched, func, msg, dump))
   in
@@ -222,7 +255,9 @@ let shrink_failure ~max_cycles ~iseed ~bus ~scheds g =
   let budget = ref 200 in
   let fails g' =
     decr budget;
-    match exec_bus ~max_cycles ~iseed g' bus scheds with
+    (* shrinking probes never sample coverage: the map reflects the sweep
+       proper, not the post-hoc bisection *)
+    match exec_bus ~max_cycles ~iseed ~cover:None g' bus scheds with
     | Ok _ -> None
     | Error (sched, func, msg, dump) -> Some (sched, func, msg, dump)
   in
@@ -239,6 +274,114 @@ let shrink_failure ~max_cycles ~iseed ~bus ~scheds g =
       | None -> (g, cur)
   in
   go g
+
+(* ---- coverage-guided seed scheduling -------------------------------
+   Guidance never touches Specgen's distributions — that would break the
+   [--seed S --count 1] repro contract. Instead each guided iteration
+   screens [guide_candidates] derived seeds, scores the static shape of
+   the spec each one generates against the holes still open in the
+   aggregate map, and runs the winner under its own seed. *)
+
+type needs = {
+  nd_write_lens : int list;  (* open write-burst lengths, ≤16 words, sorted *)
+  nd_read_lens : int list;
+  nd_dma : bool;  (* dma_w/dma_r direction bins still open *)
+  nd_switch : bool;  (* grant switch/repeat bins still open *)
+  nd_wait : bool;  (* wait-state range bins still open *)
+}
+
+let needs_of cover =
+  let module C = Splice_cover.Cover in
+  let nd =
+    List.fold_left
+      (fun nd g ->
+        if not (String.starts_with ~prefix:"bus/" (C.group_name g)) then nd
+        else
+          let nd =
+            match C.find_point g "dir_x_burst" with
+            | None -> nd
+            | Some p ->
+                List.fold_left
+                  (fun nd ((dn, _, _), (_, blo, _), count) ->
+                    (* bins beyond ~16 words are out of the generator's
+                       reach; chasing them would just waste candidates *)
+                    if count > 0 || blo > 16 then nd
+                    else if dn = "dma_w" || dn = "dma_r" then
+                      { nd with nd_dma = true }
+                    else if dn = "w" then
+                      { nd with nd_write_lens = blo :: nd.nd_write_lens }
+                    else { nd with nd_read_lens = blo :: nd.nd_read_lens })
+                  nd (C.cross_bins p)
+          in
+        let nd =
+          match C.find_point g "grant" with
+          | Some p
+            when List.exists
+                   (fun (n, c) -> c = 0 && (n = "switch" || n = "repeat"))
+                   (C.bins p) ->
+              { nd with nd_switch = true }
+          | _ -> nd
+        in
+        (* wait_r only: the user-logic stub acknowledges writes in a
+           single cycle by construction, so wait_w's 1..8 bins are
+           permanent holes — treating them as needs would bias every
+           batch towards by-ref specs for no return *)
+        match C.find_point g "wait_r" with
+        | Some p
+          when List.exists
+                 (fun (_, lo, _, c) -> c = 0 && lo >= 1 && lo <= 8)
+                 (C.bin_ranges p) ->
+            { nd with nd_wait = true }
+        | _ -> nd)
+      { nd_write_lens = []; nd_read_lens = []; nd_dma = false;
+        nd_switch = false; nd_wait = false }
+      (Splice_cover.Cover.groups cover)
+  in
+  {
+    nd with
+    nd_write_lens = List.sort_uniq compare nd.nd_write_lens;
+    nd_read_lens = List.sort_uniq compare nd.nd_read_lens;
+  }
+
+(* Per-need bonus contributions of a candidate spec, one slot per need
+   family; [score] sums them, the batch scheduler uses the breakdown to
+   apply diminishing returns. *)
+let contributions nd (ft : Specgen.features) =
+  (* exact-length matching: an open burst-length bin is only closed by a
+     function whose marshalling is exactly that many words, so candidates
+     are scored by how many open lengths they land on — not by raw size *)
+  let hits lens open_lens =
+    List.length (List.filter (fun l -> List.mem l open_lens) lens)
+  in
+  [|
+    4 * hits ft.Specgen.ft_write_lens nd.nd_write_lens;
+    4 * hits ft.Specgen.ft_read_lens nd.nd_read_lens;
+    (if (List.exists (fun l -> l >= 2) nd.nd_write_lens
+        || List.exists (fun l -> l >= 2) nd.nd_read_lens)
+        && ft.Specgen.ft_has_burst
+     then 6
+     else 0);
+    (if nd.nd_dma && ft.Specgen.ft_has_dma then 10 else 0);
+    (if nd.nd_switch then
+       (if ft.Specgen.ft_funcs > 1 then 8 else 0)
+       + if ft.Specgen.ft_max_instances > 1 then 4 else 0
+     else 0);
+    (if nd.nd_wait && ft.Specgen.ft_has_by_ref then 4 else 0);
+  |]
+
+let n_need_families = 6
+
+(* [taken.(i)] counts how many winners of the current batch already
+   matched need family [i]; each repeat halves that family's bonus.
+   Without the discount every iteration of a batch — which all see the
+   same needs snapshot — converges on near-identical spec shapes, and the
+   lost diversity costs more bins than the directed picks gain. *)
+let score ~taken nd (ft : Specgen.features) =
+  let sc = ref 0 in
+  Array.iteri
+    (fun i v -> sc := !sc + (v / (1 + taken.(i))))
+    (contributions nd ft);
+  !sc
 
 (* The grid: config.count iterations × the bus matrix, each (spec, bus)
    cell an independent task — its own spec regeneration (cheap,
@@ -282,69 +425,144 @@ let run ?(log = ignore) ?pool config =
          (mix 0x53504C4943455F44L (* "SPLICE_D" *) (Int64.of_int config.seed))
          (Int64.of_int config.count))
   in
+  (* Aggregate coverage map, pre-declared for every bus in the matrix so
+     even an early failure reports the full (mostly-zero) bin universe. *)
+  let agg =
+    if config.cover then begin
+      let c = Splice_cover.Cover.create () in
+      List.iter
+        (fun b ->
+          Splice_cover.Bus_cover.declare c ~bus:b
+            ~caps:(Registry.lookup_caps b))
+        buses;
+      Some c
+    end
+    else None
+  in
+  let trajectory = ref [] in
+  (* Guidance (and the trajectory) works in fixed-size batches of
+     iterations, deliberately decoupled from [chunk_iters]: the pool's
+     chunking varies with the worker count, the batch boundary must not. *)
+  let batch =
+    if config.cover then max 1 config.guide_batch else config.count
+  in
+  let seeds_for lo hi =
+    match agg with
+    | Some c when config.guide && config.guide_candidates > 1 ->
+        let nd = needs_of c in
+        let taken = Array.make n_need_families 0 in
+        let out = Array.make (hi - lo) 0 in
+        (* explicit loop, not Array.init: [taken] mutates per pick, so the
+           selection order must be the iteration order *)
+        for k = 0 to hi - lo - 1 do
+          let base = (lo + k) * config.guide_candidates in
+          let best = ref (iteration_seed config.seed base) in
+          let best_score = ref min_int in
+          let best_contrib = ref [||] in
+          for j = 0 to config.guide_candidates - 1 do
+            let s = iteration_seed config.seed (base + j) in
+            let g = Specgen.spec ~buses (Specgen.Rng.make s) in
+            let ft = Specgen.features g in
+            let sc = score ~taken nd ft in
+            if sc > !best_score then begin
+              best := s;
+              best_score := sc;
+              best_contrib := contributions nd ft
+            end
+          done;
+          Array.iteri
+            (fun i v -> if v > 0 then taken.(i) <- taken.(i) + 1)
+            !best_contrib;
+          out.(k) <- !best
+        done;
+        out
+    | _ -> Array.init (hi - lo) (fun k -> iteration_seed config.seed (lo + k))
+  in
   let i = ref 0 in
   while !failure = None && !i < config.count do
-    let hi = min config.count (!i + chunk_iters) in
-    let cells =
-      Array.init
-        ((hi - !i) * nbuses)
-        (fun k -> (!i + (k / nbuses), buses_arr.(k mod nbuses)))
-    in
-    let results =
-      map
-        (fun (it, bus) ->
-          let iseed = iteration_seed config.seed it in
-          (* generate with a throwaway bus; the matrix overrides it *)
-          let g = Specgen.spec ~buses (Specgen.Rng.make iseed) in
-          ( it,
-            iseed,
-            bus,
-            g,
-            exec_bus ~max_cycles:config.max_cycles ~iseed g bus config.scheds
-          ))
-        cells
-    in
-    Array.iter
-      (fun (it, iseed, bus, g, res) ->
-        if !failure = None then
-          match res with
-          | Ok runs ->
-              List.iter (fun (_, c) -> calls := !calls + List.length c) runs;
-              digest := digest_cell !digest ~iteration:it ~bus runs;
-              if bus = buses_arr.(nbuses - 1) then begin
+    let batch_lo = !i in
+    let batch_hi = min config.count (batch_lo + batch) in
+    let seeds = seeds_for batch_lo batch_hi in
+    let j = ref batch_lo in
+    while !failure = None && !j < batch_hi do
+      let hi = min batch_hi (!j + chunk_iters) in
+      let cells =
+        Array.init
+          ((hi - !j) * nbuses)
+          (fun k -> (!j + (k / nbuses), buses_arr.(k mod nbuses)))
+      in
+      let results =
+        map
+          (fun (it, bus) ->
+            let iseed = seeds.(it - batch_lo) in
+            (* generate with a throwaway bus; the matrix overrides it *)
+            let g = Specgen.spec ~buses (Specgen.Rng.make iseed) in
+            let cmap =
+              Option.map (fun _ -> Splice_cover.Cover.create ()) agg
+            in
+            ( it,
+              iseed,
+              bus,
+              g,
+              cmap,
+              exec_bus ~max_cycles:config.max_cycles ~iseed ~cover:cmap g bus
+                config.scheds ))
+          cells
+      in
+      Array.iter
+        (fun (it, iseed, bus, g, cmap, res) ->
+          if !failure = None then begin
+            (* the failing cell's partial map merges too — the aggregate
+               is the deterministic prefix up to and including it *)
+            (match (agg, cmap) with
+            | Some a, Some c -> Splice_cover.Cover.merge_into ~into:a c
+            | _ -> ());
+            match res with
+            | Ok runs ->
+                List.iter (fun (_, c) -> calls := !calls + List.length c) runs;
+                digest := digest_cell !digest ~iteration:it ~bus runs;
+                if bus = buses_arr.(nbuses - 1) then begin
+                  iterations := it + 1;
+                  log
+                    (Printf.sprintf
+                       "iteration %d/%d (seed %d): %d buses x %d schedulers ok"
+                       (it + 1) config.count iseed nbuses
+                       (List.length config.scheds))
+                end
+            | Error (sched, func, msg, dump) ->
+                let g', (sched', func', msg', dump') =
+                  shrink_failure ~max_cycles:config.max_cycles ~iseed ~bus
+                    ~scheds:config.scheds g (sched, func, msg, dump)
+                in
+                let f =
+                  {
+                    f_iteration = it;
+                    f_seed = iseed;
+                    f_bus = bus;
+                    f_sched = sched';
+                    f_func = func';
+                    f_message = msg';
+                    f_spec = g';
+                    (* the dump of the *shrunk* failing run — like the rest of
+                       the failure it is a deterministic function of the task
+                       seed, but it is not folded into the digest (the digest
+                       predates dumps and E15 pins it) *)
+                    f_dump = dump';
+                  }
+                in
                 iterations := it + 1;
-                log
-                  (Printf.sprintf
-                     "iteration %d/%d (seed %d): %d buses x %d schedulers ok"
-                     (it + 1) config.count iseed nbuses
-                     (List.length config.scheds))
-              end
-          | Error (sched, func, msg, dump) ->
-              let g', (sched', func', msg', dump') =
-                shrink_failure ~max_cycles:config.max_cycles ~iseed ~bus
-                  ~scheds:config.scheds g (sched, func, msg, dump)
-              in
-              let f =
-                {
-                  f_iteration = it;
-                  f_seed = iseed;
-                  f_bus = bus;
-                  f_sched = sched';
-                  f_func = func';
-                  f_message = msg';
-                  f_spec = g';
-                  (* the dump of the *shrunk* failing run — like the rest of
-                     the failure it is a deterministic function of the task
-                     seed, but it is not folded into the digest (the digest
-                     predates dumps and E15 pins it) *)
-                  f_dump = dump';
-                }
-              in
-              iterations := it + 1;
-              digest := digest_failure !digest f;
-              failure := Some f)
-      results;
-    i := hi
+                digest := digest_failure !digest f;
+                failure := Some f
+          end)
+        results;
+      j := hi
+    done;
+    (match agg with
+    | Some a ->
+        let h, t = Splice_cover.Cover.totals a in
+        trajectory := (!iterations, h, t) :: !trajectory
+    | None -> ());
+    i := batch_hi
   done;
   {
     r_iterations = !iterations;
@@ -352,4 +570,6 @@ let run ?(log = ignore) ?pool config =
     r_buses = buses;
     r_failure = !failure;
     r_digest = !digest;
+    r_cover = agg;
+    r_trajectory = List.rev !trajectory;
   }

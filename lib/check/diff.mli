@@ -24,10 +24,29 @@ type config = {
   buses : string list;  (** [[]] = every bus in {!Splice_buses.Registry} *)
   scheds : Kernel.sched list;
   max_cycles : int;  (** per-call watchdog *)
+  cover : bool;
+      (** collect a {!Splice_cover} functional-coverage map: per-bus
+          protocol groups attached to every run's kernel, merged across
+          cells in canonical order — byte-identical at any [-j] *)
+  guide : bool;
+      (** coverage-guided seed scheduling (needs [cover]): instead of
+          taking iteration [i]'s canonical seed, screen
+          [guide_candidates] derived seeds per iteration and run the one
+          whose generated spec's {!Specgen.features} best target the
+          aggregate map's open bins. The winner's seed is what failures
+          report, so [splice fuzz --seed S --count 1] reproduces a
+          guided failure exactly like a random one. *)
+  guide_candidates : int;  (** candidate seeds screened per iteration *)
+  guide_batch : int;
+      (** iterations per guidance batch: the hole set refreshes (and one
+          trajectory sample is recorded) every [guide_batch] iterations,
+          independent of the pool's chunking, so guided runs are
+          [-j]-invariant *)
 }
 
 val default_config : config
-(** seed 0, count 50, all buses, both schedulers, 20_000-cycle watchdog. *)
+(** seed 0, count 50, all buses, both schedulers, 20_000-cycle watchdog;
+    coverage off, guidance off (8 candidates, batches of 10 when on). *)
 
 type failure = {
   f_iteration : int;
@@ -56,6 +75,13 @@ type report = {
       (** deterministic fold of every per-call cycle count observed (and
           the failure, if any), in canonical (iteration, bus) order —
           byte-identical at every [-j] for the same config *)
+  r_cover : Splice_cover.Cover.t option;
+      (** the merged coverage map when [config.cover]; its
+          {!Splice_cover.Cover.to_string} is byte-identical at every
+          [-j] (canonical-order merge, failure-prefix discipline) *)
+  r_trajectory : (int * int * int) list;
+      (** coverage closure per batch: (iterations completed, bins hit,
+          bins total), one sample per [guide_batch] iterations *)
 }
 
 val run : ?log:(string -> unit) -> ?pool:Splice_par.Pool.t -> config -> report

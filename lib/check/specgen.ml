@@ -14,6 +14,7 @@ type gparam = {
   g_ptr_count : int option;
   g_packed : bool;
   g_by_ref : bool;
+  g_dma : bool;
 }
 
 type gfunc = {
@@ -23,7 +24,12 @@ type gfunc = {
   g_instances : int;
 }
 
-type gspec = { g_bus : string; g_funcs : gfunc list; g_packing : bool }
+type gspec = {
+  g_bus : string;
+  g_funcs : gfunc list;
+  g_packing : bool;
+  g_burst : bool;
+}
 
 let scalar_types = [ "char"; "short"; "int"; "unsigned"; "double" ]
 
@@ -32,11 +38,14 @@ let gen_param rng =
   let ptr = if Rng.bool rng then None else Some (1 + Rng.int rng 6) in
   let packed = Rng.bool rng in
   let by_ref = Rng.bool rng in
+  let dma = Rng.int rng 3 = 0 in
+  let packed = packed && ptr <> None && ty = "char" in
   {
     g_ty = ty;
     g_ptr_count = ptr;
-    g_packed = packed && ptr <> None && ty = "char";
-    g_by_ref = by_ref && ptr <> None && not (packed && ty = "char");
+    g_packed = packed;
+    g_by_ref = by_ref && ptr <> None && not packed;
+    g_dma = dma && ptr <> None && not packed;
   }
 
 let gen_func rng i =
@@ -59,16 +68,37 @@ let spec ?buses rng =
   let bus = Rng.choose rng buses in
   let nfuncs = 1 + Rng.int rng 4 in
   let funcs = List.init nfuncs (fun i -> gen_func rng i) in
-  { g_bus = bus; g_funcs = funcs; g_packing = Rng.bool rng }
+  { g_bus = bus; g_funcs = funcs; g_packing = Rng.bool rng;
+    g_burst = Rng.bool rng }
 
 let with_bus g bus = { g with g_bus = bus }
 
+(* Burst and DMA shapes are rendered only where the target bus can carry
+   them: the same gspec retargeted (via [with_bus]) at a bus without the
+   capability simply drops the directive and the '^' markers, so every
+   rendering still validates — [Validate] rejects %burst_support /
+   %dma_support on buses whose caps lack them. *)
 let render g =
+  let caps = Registry.lookup_caps g.g_bus in
+  let burst_ok =
+    match caps with Some c -> c.Bus_caps.supports_burst | None -> false
+  in
+  let dma_ok =
+    match caps with Some c -> c.Bus_caps.supports_dma | None -> false
+  in
+  let any_dma =
+    dma_ok
+    && List.exists
+         (fun f -> List.exists (fun p -> p.g_dma) f.g_params)
+         g.g_funcs
+  in
   let buf = Buffer.create 256 in
   Buffer.add_string buf "%device_name randomdev\n";
   Buffer.add_string buf (Printf.sprintf "%%bus_type %s\n%%bus_width 32\n" g.g_bus);
   Buffer.add_string buf "%base_address 0x80000000\n";
   if g.g_packing then Buffer.add_string buf "%packing_support true\n";
+  if g.g_burst && burst_ok then Buffer.add_string buf "%burst_support true\n";
+  if any_dma then Buffer.add_string buf "%dma_support true\n";
   List.iter
     (fun f ->
       let ret =
@@ -80,9 +110,10 @@ let render g =
             match p.g_ptr_count with
             | None -> Printf.sprintf "%s p%d" p.g_ty i
             | Some n ->
-                Printf.sprintf "%s*:%d%s%s p%d" p.g_ty n
+                Printf.sprintf "%s*:%d%s%s%s p%d" p.g_ty n
                   (if p.g_packed then "+" else "")
                   (if p.g_by_ref then "&" else "")
+                  (if p.g_dma && dma_ok then "^" else "")
                   i)
           f.g_params
       in
@@ -137,16 +168,82 @@ let shrink g =
                     map_func i
                       { f with g_params = List.mapi (fun k q -> if k = j then p' else q) f.g_params }
                   in
+                  (if p.g_dma then [ set { p with g_dma = false } ] else [])
+                  @
                   match p.g_ptr_count with
                   | Some n when n > 1 -> [ set { p with g_ptr_count = Some 1 } ]
                   | Some _ ->
-                      [ set { p with g_ptr_count = None; g_packed = false; g_by_ref = false } ]
+                      [ set { p with g_ptr_count = None; g_packed = false;
+                              g_by_ref = false; g_dma = false } ]
                   | None -> [])
                 f.g_params))
          g.g_funcs)
   in
   let no_packing = if g.g_packing then [ { g with g_packing = false } ] else [] in
-  dropped_funcs @ dropped_params @ fewer_instances @ simpler_params @ no_packing
+  let no_burst = if g.g_burst then [ { g with g_burst = false } ] else [] in
+  dropped_funcs @ dropped_params @ fewer_instances @ simpler_params
+  @ no_packing @ no_burst
+
+(* -------- static shape features (coverage-guided scheduling) -------- *)
+
+type features = {
+  ft_funcs : int;
+  ft_max_instances : int;
+  ft_max_write_words : int;
+  ft_max_read_words : int;
+  ft_has_by_ref : bool;
+  ft_has_nowait : bool;
+  ft_has_burst : bool;
+  ft_has_dma : bool;
+  ft_write_lens : int list;
+  ft_read_lens : int list;
+}
+
+(* 32-bit bus words a parameter occupies on the wire (render pins
+   %bus_width 32): doubles take two words, packed char arrays four
+   elements per word. An approximation of Plan's packing is enough —
+   the scorer only needs the ranking to be monotone in transfer size. *)
+let words_of_param packing p =
+  let elems = match p.g_ptr_count with None -> 1 | Some n -> n in
+  if p.g_packed && packing then (elems + 3) / 4
+  else elems * (if p.g_ty = "double" then 2 else 1)
+
+let features g =
+  let fold f init = List.fold_left f init g.g_funcs in
+  let ret_words = function
+    | `Scalar "double" -> 2
+    | `Scalar _ -> 1
+    | `Void | `Nowait -> 0
+  in
+  let write_words f =
+    List.fold_left (fun acc p -> acc + words_of_param g.g_packing p) 0 f.g_params
+  in
+  let read_words f =
+    ret_words f.g_ret
+    + List.fold_left
+        (fun acc p ->
+          if p.g_by_ref then acc + words_of_param g.g_packing p else acc)
+        0 f.g_params
+  in
+  let lens of_func =
+    List.sort_uniq compare (List.filter_map of_func g.g_funcs)
+  in
+  {
+    ft_funcs = List.length g.g_funcs;
+    ft_max_instances = fold (fun m f -> max m f.g_instances) 1;
+    ft_max_write_words = fold (fun m f -> max m (write_words f)) 0;
+    ft_max_read_words = fold (fun m f -> max m (read_words f)) 0;
+    ft_has_by_ref =
+      fold (fun b f -> b || List.exists (fun p -> p.g_by_ref) f.g_params) false;
+    ft_has_nowait = fold (fun b f -> b || f.g_ret = `Nowait) false;
+    ft_has_burst = g.g_burst;
+    ft_has_dma =
+      fold (fun b f -> b || List.exists (fun p -> p.g_dma) f.g_params) false;
+    ft_write_lens =
+      lens (fun f -> match write_words f with 0 -> None | w -> Some w);
+    ft_read_lens =
+      lens (fun f -> match read_words f with 0 -> None | w -> Some w);
+  }
 
 (* -------- random traffic + golden digest model -------- *)
 
@@ -166,7 +263,11 @@ let sign_to width v =
   List.hd (Plan.sign_extend_elems ~elem_width:width ~signed:true [ mask_to width v ])
 
 let traffic rng (spec : Spec.t) =
-  let t_calc_cycles = 1 + Rng.int rng 4 in
+  (* up to 12 calculation cycles: long enough to outlive the driver's
+     issue overhead and the adapter's teardown/setup gap, so result
+     reads on pseudo-asynchronous buses actually stall (the wait-state
+     coverage bins are unreachable if every CALC finishes first) *)
+  let t_calc_cycles = 1 + Rng.int rng 12 in
   let t_calls =
     List.map
       (fun (f : Spec.func) ->

@@ -23,6 +23,7 @@ type gparam = {
   g_ptr_count : int option;  (** [Some n] = pointer with explicit count [n] *)
   g_packed : bool;
   g_by_ref : bool;
+  g_dma : bool;  (** '^' — rendered only on buses whose caps support DMA *)
 }
 
 type gfunc = {
@@ -32,7 +33,13 @@ type gfunc = {
   g_instances : int;
 }
 
-type gspec = { g_bus : string; g_funcs : gfunc list; g_packing : bool }
+type gspec = {
+  g_bus : string;
+  g_funcs : gfunc list;
+  g_packing : bool;
+  g_burst : bool;
+      (** %burst_support — rendered only on buses whose caps support it *)
+}
 
 val spec : ?buses:string list -> Rng.t -> gspec
 (** A random specification targeting one of [buses] (default: every bus in
@@ -54,6 +61,30 @@ val shrink : gspec -> gspec list
 
 val pp : Format.formatter -> gspec -> unit
 (** The rendered source, for counterexample reports. *)
+
+(** {1 Shape features}
+
+    A cheap static distillation of a generated spec — no rendering, no
+    validation — used by coverage-guided fuzzing to score candidate seeds
+    against the open holes of a coverage map (the scorer only needs
+    rankings monotone in transfer size and concurrency, not exact plans). *)
+
+type features = {
+  ft_funcs : int;
+  ft_max_instances : int;
+  ft_max_write_words : int;  (** widest input marshalling of any function *)
+  ft_max_read_words : int;  (** widest result collection (by-ref + return) *)
+  ft_has_by_ref : bool;
+  ft_has_nowait : bool;
+  ft_has_burst : bool;  (** burst-capable shape (where the bus allows it) *)
+  ft_has_dma : bool;  (** at least one '^' DMA parameter *)
+  ft_write_lens : int list;
+      (** distinct per-function input-marshalling word counts, sorted *)
+  ft_read_lens : int list;
+      (** distinct per-function result word counts (by-ref + return) *)
+}
+
+val features : gspec -> features
 
 (** {1 Random traffic + golden model} *)
 

@@ -96,6 +96,10 @@ module Bus_monitor = Splice_check.Bus_monitor
 module Specgen = Splice_check.Specgen
 module Diff = Splice_check.Diff
 
+(* functional coverage: coverpoints, per-bus protocol groups *)
+module Cover = Splice_cover.Cover
+module Bus_cover = Splice_cover.Bus_cover
+
 (* observability: metrics, spans, flight recorder, exporters *)
 module Obs = Splice_obs.Obs
 module Metrics = Splice_obs.Metrics

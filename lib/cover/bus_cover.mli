@@ -1,0 +1,60 @@
+(** Auto-derived protocol coverage groups for the registered buses.
+
+    Mirrors [Bus_monitor]'s SIS-side phase model: the same
+    (presentation, wait, acknowledge) classification the protocol rules
+    check is what the coverpoints count, so a covered bin is a scenario
+    the monitors actually vetted. Bin sets are derived from
+    [Bus_caps.t] structure — burst-length log ranges from
+    [max_burst_words]/[dma_max_bytes], DMA direction bins only where
+    [supports_dma], write-side wait bins only where [pseudo_async]
+    (strictly synchronous buses may not stall writes, per the monitors).
+
+    One group per bus, named ["bus/<name>"], with points:
+    - [phase]: multi-hot aspect bins — reset, write, read, ack_w, ack_r,
+      wait_r, idle (+ wait_w when pseudo-asynchronous), sampled once per
+      active aspect per settled cycle;
+    - [phase_seq]: transition bins over the cycle's {e primary} phase
+      (priority reset > write > read > ack_w > ack_r > waits > idle);
+    - [grant]: arbiter grant patterns on IO_ENABLE — status-register
+      grants, first data grant, repeat to the same FUNC_ID, switch to a
+      new one;
+    - [wait_r] (+ [wait_w]): per-word wait-state count ranges;
+    - [burst], [dir], [dir_x_burst]: transaction-level points sampled by
+      the bus adapter engine through the ambient map. *)
+
+open Splice_syntax
+
+val group_name : string -> string
+(** ["bus/<name>"]. *)
+
+val declare : Cover.t -> bus:string -> caps:Bus_caps.t option -> unit
+(** Create the bus's group and every point (idempotent). [caps = None]
+    falls back to a generic moderate shape (8-word bursts, no DMA,
+    pseudo-asynchronous). *)
+
+val attach :
+  Cover.t -> bus:string -> caps:Bus_caps.t option ->
+  Splice_sim.Kernel.t -> Splice_sis.Sis_if.t -> unit
+(** Declare (if needed) and hook cycle-level sampling — phase aspects,
+    phase sequence, grants, wait-state counts — into the kernel's
+    settled view. State lives in the hook's closure, so one attachment
+    per (kernel, run). *)
+
+(** Transaction-level points, resolved once at adapter-engine creation
+    and sampled at request start — the interning discipline that keeps
+    the engine's hot path free of lookups. *)
+type txn
+
+val find_txn : Cover.t -> bus:string -> txn option
+(** [None] until {!declare} has run for the bus — an engine created with
+    no ambient coverage (or before declaration) samples nothing. *)
+
+val sample_txn :
+  txn ->
+  func_id:int ->
+  dir:[ `Write | `Read | `Dma_write | `Dma_read ] ->
+  words:int ->
+  unit
+(** [func_id = 0] additionally hits the grant point's "status" bin:
+    status polls never assert IO_ENABLE, so that bin is unreachable from
+    the cycle-level sampler. *)

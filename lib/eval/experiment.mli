@@ -154,3 +154,23 @@ module Burst : sig
   val run : ?sizes:int list -> unit -> point list
   val table : point list -> string
 end
+
+(** E17 — coverage-guided fuzzing: the differential sweep with the merged
+    protocol-coverage map feeding {!Splice_check.Diff}'s seed scheduler
+    (candidate screening against open holes) vs the same sweep with uniform
+    random seeds. Same budget, same bin universe; guided should dominate
+    the closure trajectory. *)
+module Coverage : sig
+  type point = {
+    iterations : int;
+    guided_hit : int;  (** bins hit by the guided sweep at this budget *)
+    random_hit : int;
+    total : int;
+  }
+
+  val run : ?seed:int -> ?count:int -> ?buses:string list -> unit -> point list
+  val guided_wins : point list -> bool
+  (** Guided strictly ahead at the full budget. *)
+
+  val table : point list -> string
+end

@@ -121,6 +121,8 @@ let everything ?pool () =
   section "Parallel scaling (E15)";
   (* spawns its own pools per row; independent of [pool] *)
   Buffer.add_string buf (Experiment.Scaling.table (Experiment.Scaling.run ()));
+  section "Coverage-guided fuzzing (E17)";
+  Buffer.add_string buf (Experiment.Coverage.table (Experiment.Coverage.run ()));
   section "Burst ablation (E9)";
   Buffer.add_string buf (Experiment.Burst.table (Experiment.Burst.run ()));
   section "Interrupt ablation (E11)";

@@ -183,13 +183,18 @@ let of_string s =
   | Ok j -> of_json j
 
 let load path =
-  match open_in_bin path with
+  (* every filesystem failure mode — missing file, permissions, a read
+     racing a truncation — must surface as [Error], never an exception:
+     the CLI turns it into a one-line diagnostic and a non-zero exit *)
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
   | exception Sys_error e -> Error e
-  | ic ->
-      let n = in_channel_length ic in
-      let s = really_input_string ic n in
-      close_in ic;
-      of_string s
+  | exception End_of_file -> Error (path ^ ": truncated file")
+  | s -> of_string s
 
 (* ------------------------------------------------------------------ *)
 (* Filtering                                                           *)

@@ -111,6 +111,46 @@ let () =
   let rc, out = run "fuzz --bus nosuchbus" in
   check "fuzz rejects unknown buses" (fun () ->
       rc = 2 && contains out "unknown bus");
+  (* coverage: fuzz --cover writes a map the cover verb can report and gate *)
+  let cov = Filename.temp_file "splicecov" ".json" in
+  let rc, out =
+    run (Printf.sprintf "fuzz --seed 7 --count 3 --cover %s" (Filename.quote cov))
+  in
+  check "fuzz --cover reports totals and the closure trajectory" (fun () ->
+      rc = 0 && contains out "coverage:" && contains out "protocol phases:"
+      && contains out "coverage trajectory");
+  let rc, out = run ("cover " ^ Filename.quote cov) in
+  check "cover renders the per-group hit/hole report" (fun () ->
+      rc = 0 && contains out "functional coverage:"
+      && contains out "group bus/plb" && contains out "holes:");
+  let rc, out = run ("cover " ^ Filename.quote cov ^ " --openmetrics") in
+  check "cover exposition is EOF-terminated" (fun () ->
+      rc = 0 && contains out "cover_bins_hit" && contains out "# EOF");
+  let rc, out = run ("cover " ^ Filename.quote cov ^ " --fail-under 12") in
+  check "cover --fail-under passes above the floor" (fun () ->
+      rc = 0 && contains out "meets the");
+  let rc, out = run ("cover " ^ Filename.quote cov ^ " --fail-under 99") in
+  check "cover --fail-under gates below the floor" (fun () ->
+      rc = 1 && contains out "error:" && contains out "below");
+  Sys.remove cov;
+  (* missing or unparsable inputs: non-zero exit, one-line diagnostic *)
+  let rc, out = run "cover /nonexistent/map.json" in
+  check "cover missing file diagnostic" (fun () ->
+      rc = 1 && contains out "error:" && contains out "No such file");
+  let rc, out = run "trace /nonexistent/dump.json" in
+  check "trace missing file diagnostic" (fun () ->
+      rc = 1 && contains out "error:" && contains out "No such file");
+  let bogus = Filename.temp_file "splicebogus" ".json" in
+  let oc = open_out bogus in
+  output_string oc "not json at all\n";
+  close_out oc;
+  let rc, out = run ("cover " ^ Filename.quote bogus) in
+  check "cover unparsable file diagnostic names the file" (fun () ->
+      rc = 1 && contains out "error:" && contains out (Filename.basename bogus));
+  let rc, out = run ("trace " ^ Filename.quote bogus) in
+  check "trace unparsable file diagnostic" (fun () ->
+      rc = 1 && contains out "error:");
+  Sys.remove bogus;
   (* clean up *)
   let dev = Filename.concat dir "hw_timer" in
   Array.iter (fun f -> Sys.remove (Filename.concat dev f)) (Sys.readdir dev);

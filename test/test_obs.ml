@@ -552,6 +552,37 @@ let openmetrics_tests =
           (Openmetrics.sanitize "bus/plb/x");
         Alcotest.(check string) "spaces and dashes" "splice_a_b_c"
           (Openmetrics.sanitize "a b-c"));
+    t "render golden exposition over raw snapshot data" (fun () ->
+        (* the raw-data entry point (used by the trace query engine and the
+           coverage engine) must produce the same well-terminated exposition
+           as [of_metrics] — pinned exactly, terminator included *)
+        Alcotest.(check string) "exact text"
+          "# TYPE splice_fuzz_iterations counter\n\
+           splice_fuzz_iterations_total 7\n\
+           # TYPE splice_cover_bins_hit gauge\n\
+           splice_cover_bins_hit 3\n\
+           # TYPE splice_lat histogram\n\
+           splice_lat_bucket{le=\"2\"} 1\n\
+           splice_lat_bucket{le=\"+Inf\"} 2\n\
+           splice_lat_count 2\n\
+           splice_lat_sum 9\n\
+           # EOF\n"
+          (Openmetrics.render
+             ~counters:[ ("fuzz/iterations", 7) ]
+             ~gauges:[ ("cover/bins_hit", 3) ]
+             ~histograms:
+               [
+                 ( "lat",
+                   {
+                     Openmetrics.om_limits = [| 2 |];
+                     om_buckets = [| 1; 1 |];
+                     om_sum = 9;
+                     om_count = 2;
+                   } );
+               ]));
+    t "render of an empty snapshot is just the terminator" (fun () ->
+        Alcotest.(check string) "eof only" "# EOF\n"
+          (Openmetrics.render ~counters:[] ~gauges:[] ~histograms:[]));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -661,6 +692,49 @@ let query_tests =
           (Query.filter ~kinds:[ Recorder.Signal_change ] d <> []);
         check_bool "summary renders the latency table" true
           (Astring_contains.contains (Query.summary d) "bus/plb"));
+    t "latency rows on a dump with no transactions" (fun () ->
+        let r = Recorder.create ~capacity:8 () in
+        Recorder.comp_eval r ~subject:(Recorder.intern r "x");
+        let d = Result.get_ok (Query.of_string (Recorder.dump_string r)) in
+        Alcotest.(check (list (pair string int)))
+          "no samples" [] (Query.latency_samples d);
+        check_bool "no rows" true (Query.latency_rows d = []));
+    t "unmatched begin yields an empty track, not a row" (fun () ->
+        let r = Recorder.create ~capacity:8 () in
+        Recorder.txn_begin r ~subject:(Recorder.intern r "bus/x") ~words:1;
+        let d = Result.get_ok (Query.of_string (Recorder.dump_string r)) in
+        check_bool "open transaction dropped" true (Query.latency_rows d = []));
+    t "single-transaction track: every percentile is that sample" (fun () ->
+        let r = Recorder.create ~capacity:8 () in
+        let s = Recorder.intern r "bus/x" in
+        Recorder.set_now r 3;
+        Recorder.txn_begin r ~subject:s ~words:1;
+        Recorder.set_now r 8;
+        Recorder.txn_end r ~subject:s;
+        let d = Result.get_ok (Query.of_string (Recorder.dump_string r)) in
+        match Query.latency_rows d with
+        | [ row ] ->
+            check_int "count" 1 row.Query.lr_count;
+            check_int "p50 = p99" row.Query.lr_p50 row.Query.lr_p99;
+            check_int "max is the sample" 5 row.Query.lr_max
+        | rows -> Alcotest.failf "expected 1 row, got %d" (List.length rows));
+    t "filters that match nothing return empty, not an error" (fun () ->
+        let r = Recorder.create ~capacity:8 () in
+        Recorder.set_now r 2;
+        Recorder.signal_change r ~subject:(Recorder.intern r "a") ~value:1;
+        let d = Result.get_ok (Query.of_string (Recorder.dump_string r)) in
+        check_int "unknown subject" 0
+          (List.length (Query.filter ~subject:"nope" d));
+        check_int "kind not recorded" 0
+          (List.length (Query.filter ~kinds:[ Recorder.Txn_begin ] d));
+        check_int "inverted cycle range" 0
+          (List.length (Query.filter ~from_cycle:5 ~to_cycle:1 d));
+        check_int "subject and disjoint kind conjunction" 0
+          (List.length
+             (Query.filter ~subject:"a" ~kinds:[ Recorder.Check_fail ] d));
+        Alcotest.(check (list string))
+          "subjects filtered by absent kind" []
+          (Query.subjects ~kinds:[ Recorder.Txn_end ] d));
   ]
 
 (* ------------------------------------------------------------------ *)
