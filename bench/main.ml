@@ -90,6 +90,18 @@ let bench_cycles_event_kernel =
            (Splice.Interpolator.run (Lazy.force host)
               (Splice.Interp_scenarios.by_id 1))))
 
+let bench_cycles_compiled_kernel =
+  let host =
+    lazy
+      (Splice.Interpolator.make_host ~sched:`Compiled
+         Splice.Interpolator.Splice_plb_simple)
+  in
+  Test.make ~name:"driver call, compiled op-tape scheduler"
+    (Staged.stage (fun () ->
+         ignore
+           (Splice.Interpolator.run (Lazy.force host)
+              (Splice.Interp_scenarios.by_id 1))))
+
 (* Observability overhead (E10/E16): the same simulated driver call at the
    three instrumentation levels — opted out via Obs.none, metrics only
    ([~recording:false]), and the default metrics + flight recorder. The
@@ -179,6 +191,7 @@ let benchmarks =
     bench_fig_9_3;
     bench_cycles_sweep_kernel;
     bench_cycles_event_kernel;
+    bench_cycles_compiled_kernel;
     bench_cycles_uninstrumented;
     bench_cycles_metrics_only;
     bench_cycles_instrumented;
@@ -218,6 +231,75 @@ let recorder_overhead ~reps ~batch =
     done
   done;
   (best.(0), best.(1), best.(2))
+
+(* Settle-loop speedup, measured paired like [recorder_overhead]: a
+   [depth]-deep combinational chain registered in reverse data order and
+   re-excited every cycle — the settle loop is essentially the entire
+   cycle. The interpreted schedulers need [depth] ordered delta passes
+   (each a full O(n) walk over the component array), the levelized tape
+   one pass over an int bitset — this isolates exactly the dispatch cost
+   the op-tape compiles away. *)
+let chain_depth = 128
+
+let make_chain ~sched ~depth =
+  let sigs = Array.init (depth + 1) (fun _ -> Splice.Signal.create 16) in
+  let k =
+    Splice.Kernel.create ~sched ~obs:Splice.Obs.none
+      ~max_comb_iters:(depth + 4) ()
+  in
+  (* consumer-before-producer registration: in-pass propagation cannot
+     collapse the interpreted schedulers' pass count *)
+  for i = depth - 1 downto 0 do
+    let src = sigs.(i) and dst = sigs.(i + 1) in
+    Splice.Kernel.add k
+      (Splice.Component.make ~reads:[ src ]
+         ~comb:(fun () ->
+           Splice.Signal.set_int dst ((Splice.Signal.get_int src + 1) land 0xffff))
+         (Printf.sprintf "stage%d" i))
+  done;
+  let n = ref 0 in
+  Splice.Kernel.add k
+    (Splice.Component.make
+       ~seq:(fun () ->
+         incr n;
+         Splice.Signal.set_next_int sigs.(0) (!n land 0xffff))
+       "drv");
+  k
+
+let sched_speedup ~reps ~batch =
+  let time_one sched n =
+    let k = make_chain ~sched ~depth:chain_depth in
+    Splice.Kernel.cycle k;
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to n do
+      Splice.Kernel.cycle k
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int n *. 1e9
+  in
+  let scheds = [| `Sweep; `Event; `Compiled |] in
+  let best = [| infinity; infinity; infinity |] in
+  for r = 0 to reps - 1 do
+    for j = 0 to 2 do
+      let i = (r + j) mod 3 in
+      let t = time_one scheds.(i) batch in
+      if t < best.(i) then best.(i) <- t
+    done
+  done;
+  (best.(0), best.(1), best.(2))
+
+let print_speedup (sweep, event, compiled) =
+  Printf.printf
+    "\n== Settle-loop speedup, paired minima (%d-deep comb chain) ==\n\n\
+     %-44s %11.3f us\n\
+     %-44s %11.3f us\n\
+     %-44s %11.3f us\n\
+     %-44s %10.2f x\n\
+     %-44s %10.2f x\n"
+    chain_depth "settle, sweep scheduler" (sweep /. 1e3)
+    "settle, event scheduler" (event /. 1e3)
+    "settle, compiled op-tape" (compiled /. 1e3)
+    "compiled vs event" (event /. compiled)
+    "compiled vs sweep" (sweep /. compiled)
 
 let print_overhead (off, metrics, full) =
   let pct a b = (a -. b) /. b *. 100. in
@@ -265,8 +347,9 @@ let run_bechamel ~quota =
     benchmarks;
   List.rev !rows
 
-let write_json path ~quick ~jobs ~overhead rows =
+let write_json path ~quick ~jobs ~overhead ~speedup rows =
   let off, metrics, full = overhead in
+  let sweep_ns, event_ns, compiled_ns = speedup in
   let pct a b = (a -. b) /. b *. 100. in
   Splice.Export.write_file path
     (Splice.Json.to_string
@@ -289,6 +372,21 @@ let write_json path ~quick ~jobs ~overhead rows =
                   ("metrics_recorder_ns", Float full);
                   ("metrics_pct", Float (pct metrics off));
                   ("recorder_pct", Float (pct full metrics));
+                ] );
+            ( "sched_speedup",
+              (* the compiled column: paired minima on the settle-loop
+                 chain workload (see [sched_speedup]) *)
+              Obj
+                [
+                  ( "workload",
+                    String
+                      (Printf.sprintf "%d-deep comb chain, 1 settle per cycle"
+                         chain_depth) );
+                  ("sweep_ns_per_cycle", Float sweep_ns);
+                  ("event_ns_per_cycle", Float event_ns);
+                  ("compiled_ns_per_cycle", Float compiled_ns);
+                  ("compiled_vs_event", Float (event_ns /. compiled_ns));
+                  ("compiled_vs_sweep", Float (sweep_ns /. compiled_ns));
                 ] );
           ]));
   Printf.printf "wrote kernel benchmark summary to %s\n" path
@@ -326,7 +424,14 @@ let () =
       else recorder_overhead ~reps:36 ~batch:500
     in
     print_overhead overhead;
-    Option.iter (fun path -> write_json path ~quick ~jobs ~overhead rows) json
+    let speedup =
+      if quick then sched_speedup ~reps:6 ~batch:200
+      else sched_speedup ~reps:24 ~batch:1000
+    in
+    print_speedup speedup;
+    Option.iter
+      (fun path -> write_json path ~quick ~jobs ~overhead ~speedup rows)
+      json
   end;
   if not quick then begin
     print_newline ();

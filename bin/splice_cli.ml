@@ -339,11 +339,23 @@ let fuzz_cmd =
   let sched =
     Arg.(
       value
-      & opt (enum [ ("both", `Both); ("event", `Event); ("sweep", `Sweep) ]) `Both
+      & opt
+          (enum
+             [
+               ("all", `All);
+               ("both", `Both);
+               ("event", `Event);
+               ("sweep", `Sweep);
+               ("compiled", `Compiled);
+             ])
+          `All
       & info [ "sched" ] ~docv:"SCHED"
           ~doc:
-            "Kernel scheduler(s): $(b,event), $(b,sweep), or $(b,both) \
-             (cross-checking the E14 cycle-count invariant).")
+            "Kernel scheduler(s): $(b,event), $(b,sweep), $(b,compiled), \
+             $(b,both) (event+sweep), or $(b,all) — the default — running \
+             every cell under all three and cross-checking the E14 \
+             cycle-count invariant (a compiled-vs-event disagreement is a \
+             failure).")
   in
   let quiet =
     Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress per-iteration progress.")
@@ -410,8 +422,9 @@ let fuzz_cmd =
     in
     let scheds =
       match sched with
+      | `All -> [ `Event; `Sweep; `Compiled ]
       | `Both -> [ `Event; `Sweep ]
-      | (`Event | `Sweep) as s -> [ s ]
+      | (`Event | `Sweep | `Compiled) as s -> [ s ]
     in
     let config =
       {
@@ -556,10 +569,11 @@ let fuzz_cmd =
     (Cmd.info "fuzz"
        ~doc:
          "Differential conformance fuzzing: run random specifications and \
-          random traffic on every registered bus under both kernel \
-          schedulers, with all protocol monitors attached, asserting \
-          golden-model data equality and scheduler cycle-count agreement. \
-          Prints a reproduction command on failure.")
+          random traffic on every registered bus under all three kernel \
+          schedulers (event, sweep, compiled op-tape), with all protocol \
+          monitors attached, asserting golden-model data equality and \
+          scheduler cycle-count agreement. Prints a reproduction command \
+          on failure.")
     Term.(
       const run $ seed $ count $ bus $ sched $ quiet $ jobs_arg $ json $ record
       $ cover $ no_guide)

@@ -21,7 +21,7 @@ let default_config =
     seed = 0;
     count = 50;
     buses = [];
-    scheds = [ `Event; `Sweep ];
+    scheds = [ `Event; `Sweep; `Compiled ];
     max_cycles = 20_000;
     cover = false;
     guide = false;
@@ -50,7 +50,10 @@ type report = {
   r_trajectory : (int * int * int) list;
 }
 
-let sched_name = function `Event -> "event" | `Sweep -> "sweep"
+let sched_name = function
+  | `Event -> "event"
+  | `Sweep -> "sweep"
+  | `Compiled -> "compiled"
 
 (* Per-iteration seeds come from splitmix64 seed-splitting of the root
    seed: every (spec, bus) task derives all of its randomness from

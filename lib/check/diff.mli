@@ -4,14 +4,17 @@
     declaration behaves identically on every supported bus. This module
     turns that claim into an executable check: each random specification and
     its random traffic (from {!Specgen}) runs on {e every} bus in the
-    matrix, under {e both} kernel schedulers, with the SIS monitor and the
-    per-bus {!Bus_monitor} attached — asserting
+    matrix, under {e all three} kernel schedulers (event-driven, sweep, and
+    the compiled op-tape), with the SIS monitor and the per-bus
+    {!Bus_monitor} attached — asserting
 
     - golden-model data equality (the digest round-trip of
       {!Specgen.expected_output});
     - no protocol-monitor violation on any bus;
-    - the E14 scheduler invariant: the event-driven and sweep schedulers
-      agree on the cycle count of every call.
+    - the E14 scheduler invariant: every scheduler in the list agrees on
+      the cycle count of every call — this is the gate that fails a run
+      (and CI) when the compiled tape disagrees with the event oracle on
+      any cell.
 
     On failure the offending spec is shrunk and packaged with the exact
     [splice fuzz] command that reproduces it. *)
@@ -45,8 +48,9 @@ type config = {
 }
 
 val default_config : config
-(** seed 0, count 50, all buses, both schedulers, 20_000-cycle watchdog;
-    coverage off, guidance off (8 candidates, batches of 10 when on). *)
+(** seed 0, count 50, all buses, all three schedulers, 20_000-cycle
+    watchdog; coverage off, guidance off (8 candidates, batches of 10 when
+    on). *)
 
 type failure = {
   f_iteration : int;

@@ -189,19 +189,35 @@ module Scheduler = struct
     label : string;
     cycles_sweep : int;
     cycles_event : int;
+    cycles_compiled : int;
     evals_sweep : int;
     evals_event : int;
+    evals_compiled : int;
   }
 
   let saving p =
     100.0 *. (1.0 -. float_of_int p.evals_event /. float_of_int (max 1 p.evals_sweep))
 
-  let agree p = p.cycles_sweep = p.cycles_event
+  let saving_compiled p =
+    100.0
+    *. (1.0 -. float_of_int p.evals_compiled /. float_of_int (max 1 p.evals_sweep))
+
+  let agree p =
+    p.cycles_sweep = p.cycles_event && p.cycles_event = p.cycles_compiled
 
   let point_of ~label measure =
     let cycles_sweep, evals_sweep = measure `Sweep in
     let cycles_event, evals_event = measure `Event in
-    { label; cycles_sweep; cycles_event; evals_sweep; evals_event }
+    let cycles_compiled, evals_compiled = measure `Compiled in
+    {
+      label;
+      cycles_sweep;
+      cycles_event;
+      cycles_compiled;
+      evals_sweep;
+      evals_event;
+      evals_compiled;
+    }
 
   let kernel_totals host cycles =
     let s = Splice_sim.Kernel.stats (Host.kernel host) in
@@ -243,25 +259,27 @@ module Scheduler = struct
     let buf = Buffer.create 512 in
     Buffer.add_string buf
       "Scheduler ablation (E14): sweep-until-quiescent vs event-driven \
-       delta scheduling\n";
+       delta scheduling vs compiled op-tape\n";
     Buffer.add_string buf
       "(identical cycle counts required; comb evaluations are the work \
        saved)\n";
     Buffer.add_string buf
-      (Printf.sprintf "%-28s %10s %10s %7s %12s %12s %8s\n" "workload"
-         "cyc(sweep)" "cyc(event)" "match" "evals(sweep)" "evals(event)"
-         "saving");
+      (Printf.sprintf "%-28s %9s %9s %9s %6s %11s %11s %11s %8s %8s\n"
+         "workload" "cyc(swp)" "cyc(evt)" "cyc(tape)" "match" "evals(swp)"
+         "evals(evt)" "evals(tape)" "sav(evt)" "sav(tape)");
     List.iter
       (fun p ->
         Buffer.add_string buf
-          (Printf.sprintf "%-28s %10d %10d %7s %12d %12d %7.0f%%\n" p.label
-             p.cycles_sweep p.cycles_event
+          (Printf.sprintf
+             "%-28s %9d %9d %9d %6s %11d %11d %11d %7.0f%% %7.0f%%\n" p.label
+             p.cycles_sweep p.cycles_event p.cycles_compiled
              (if agree p then "yes" else "NO!")
-             p.evals_sweep p.evals_event (saving p)))
+             p.evals_sweep p.evals_event p.evals_compiled (saving p)
+             (saving_compiled p)))
       points;
     (if List.for_all agree points then
        Buffer.add_string buf
-         "every workload cycles identically under both schedulers\n"
+         "every workload cycles identically under all three schedulers\n"
      else
        Buffer.add_string buf
          "CYCLE MISMATCH: a sensitivity list is missing a signal\n");

@@ -44,27 +44,35 @@ module Arbitration : sig
 end
 
 (** E14 — comb scheduling (the simulator itself): the same workloads run on
-    the legacy sweep-until-quiescent kernel and the event-driven dirty-set
-    kernel. Cycle counts must be identical — the scheduler is an
-    implementation detail of the simulator, not of the modelled hardware —
-    while the number of comb-callback evaluations drops, and the drop grows
-    with the number of functions sharing the arbiter (the sweep re-evaluates
-    every stub on every delta pass; the event kernel only the selected
-    one). *)
+    the legacy sweep-until-quiescent kernel, the event-driven dirty-set
+    kernel, and the compiled op-tape. Cycle counts must be identical — the
+    scheduler is an implementation detail of the simulator, not of the
+    modelled hardware — while the number of comb-callback evaluations
+    drops, and the drop grows with the number of functions sharing the
+    arbiter (the sweep re-evaluates every stub on every delta pass; the
+    event kernel only the selected one; the tape additionally levelizes,
+    so fewer delta passes reach the same fixpoint). *)
 module Scheduler : sig
   type point = {
     label : string;
     cycles_sweep : int;
     cycles_event : int;
+    cycles_compiled : int;
     evals_sweep : int;
     evals_event : int;
+    evals_compiled : int;
   }
 
   val agree : point -> bool
-  (** Both schedulers produced the same cycle count. *)
+  (** All three schedulers produced the same cycle count. *)
 
   val saving : point -> float
-  (** Percentage of comb evaluations the event scheduler avoided. *)
+  (** Percentage of comb evaluations the event scheduler avoided (vs
+      sweep). *)
+
+  val saving_compiled : point -> float
+  (** Percentage of comb evaluations the compiled op-tape avoided (vs
+      sweep). *)
 
   val interp_point : Splice_devices.Interpolator.impl -> point
   (** The Fig 9.2 workload (all scenarios) on one implementation. *)

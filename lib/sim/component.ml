@@ -9,7 +9,12 @@ type t = {
   sensitivity : sensitivity;
   has_comb : bool;
   mutable dirty : bool;
-  mutable registered : bool;
+  mutable reg_gen : int;
+      (* generation id of the kernel whose fan-out listeners this component
+         last registered with (0 = never). A plain [registered] bool here
+         was a lifecycle bug: a component reused in a second kernel (or a
+         re-created kernel in the same domain) silently skipped registration
+         and kept marking the dead kernel's dirty counter. *)
   mutable rec_stamp : int;
   mutable rec_id : int;
       (* cached flight-recorder intern id (see Signal); lets the kernel
@@ -36,7 +41,7 @@ let make ?reads ?state ?comb ?seq name =
     sensitivity;
     has_comb = Option.is_some comb;
     dirty = false;
-    registered = false;
+    reg_gen = 0;
     rec_stamp = 0;
     rec_id = -1;
   }

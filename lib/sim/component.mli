@@ -38,7 +38,12 @@ type t = {
   sensitivity : sensitivity;
   has_comb : bool;  (** false when no [comb] was supplied (callback is a nop) *)
   mutable dirty : bool;  (** kernel-owned: queued for (re-)evaluation *)
-  mutable registered : bool;  (** kernel-owned: fan-out listeners attached *)
+  mutable reg_gen : int;
+      (** kernel-owned: generation id of the kernel this component's fan-out
+          listeners belong to (0 = never registered). Stamping per kernel —
+          instead of a sticky boolean — lets a component be reused by a
+          later kernel: the new kernel re-registers, and the old kernel's
+          listeners become no-ops instead of corrupting its dirty counter. *)
   mutable rec_stamp : int;
       (** kernel-owned: flight-recorder stamp validating [rec_id] *)
   mutable rec_id : int;  (** kernel-owned: cached recorder intern id *)

@@ -1,10 +1,16 @@
 open Splice_obs
 
-type sched = [ `Event | `Sweep ]
+type sched = [ `Event | `Sweep | `Compiled ]
 
 type t = {
   max_comb_iters : int;
   sched : sched;
+  gen : int;
+      (* process-unique kernel generation id (from a global atomic counter,
+         never 0): components stamp it into [reg_gen] when they register
+         their fan-out listeners, so a component reused by a later kernel
+         re-registers there and this kernel's listeners turn into no-ops
+         instead of corrupting a dead kernel's dirty count *)
   obs : Obs.t;
   mutable components : Component.t list; (* reversed *)
   mutable checks : (string * (int -> unit)) list; (* reversed *)
@@ -25,10 +31,15 @@ type t = {
       (* state-sensitive components, re-marked dirty at every settle *)
   mutable has_always : bool;
   mutable n_dirty : int;
+  mutable tape : Tape.t option;
+      (* the [`Compiled] scheduler's op-tape, (re)built at seal time *)
   (* flight recorder (Obs.recorder obs, cached to skip the option chase on
      the hot path) plus interned subject ids for the kernel itself and the
      registered checks *)
   rec_ : Recorder.t option;
+  rec_fn : (Component.t -> unit) option;
+      (* preallocated per-evaluation recording hook for the compiled tape
+         (allocating it per settle would break the zero-allocation loop) *)
   rec_kernel_id : int;
   mutable check_ids : int array;
   comb_hist : Metrics.histogram;
@@ -48,12 +59,29 @@ exception Comb_divergence of { cycle : int; iterations : int }
 exception Timeout of { cycle : int; elapsed : int; waiting_for : string }
 exception Check_failed of { cycle : int; check : string; message : string }
 
+(* cold only on the first evaluation per (component, recorder) pair *)
+let record_eval r (c : Component.t) =
+  let id =
+    if c.Component.rec_stamp = Recorder.stamp r then c.Component.rec_id
+    else begin
+      let id = Recorder.intern r c.Component.name in
+      c.Component.rec_stamp <- Recorder.stamp r;
+      c.Component.rec_id <- id;
+      id
+    end
+  in
+  Recorder.comp_eval r ~subject:id
+
+let gen_counter = Atomic.make 0
+
 let create ?(max_comb_iters = 64) ?(sched = `Event) ?obs () =
   let obs = match obs with Some o -> o | None -> Obs.create () in
   let m = Obs.metrics obs in
   let rec_ = Obs.recorder obs in
   {
     rec_;
+    rec_fn = (match rec_ with Some r -> Some (fun c -> record_eval r c) | None -> None);
+    gen = 1 + Atomic.fetch_and_add gen_counter 1;
     rec_kernel_id =
       (match rec_ with Some r -> Recorder.intern r "kernel" | None -> -1);
     check_ids = [||];
@@ -76,6 +104,7 @@ let create ?(max_comb_iters = 64) ?(sched = `Event) ?obs () =
     edge_comps = [||];
     has_always = false;
     n_dirty = 0;
+    tape = None;
     comb_hist =
       Metrics.histogram ~limits:[| 1; 2; 3; 4; 6; 8; 16; 32; 64 |] m
         "sim/comb_iters";
@@ -108,19 +137,6 @@ let mark_dirty t (c : Component.t) =
     t.n_dirty <- t.n_dirty + 1
   end
 
-(* cold only on the first evaluation per (component, recorder) pair *)
-let record_eval r (c : Component.t) =
-  let id =
-    if c.Component.rec_stamp = Recorder.stamp r then c.Component.rec_id
-    else begin
-      let id = Recorder.intern r c.Component.name in
-      c.Component.rec_stamp <- Recorder.stamp r;
-      c.Component.rec_id <- id;
-      id
-    end
-  in
-  Recorder.comp_eval r ~subject:id
-
 let seal t =
   t.comps_fwd <- Array.of_list (List.rev t.components);
   t.checks_fwd <- Array.of_list (List.rev t.checks);
@@ -138,10 +154,18 @@ let seal t =
       | Component.Always -> t.has_always <- true
       | Component.Reads { signals; edge = e } ->
           if e && c.Component.has_comb then edge := c :: !edge;
-          if t.sched = `Event && not c.Component.registered then begin
-            c.Component.registered <- true;
+          if t.sched = `Event && c.Component.reg_gen <> t.gen then begin
+            (* a component migrating from an earlier kernel may carry that
+               kernel's dirty bit; clear it before this kernel counts it *)
+            if c.Component.reg_gen <> 0 then c.Component.dirty <- false;
+            c.Component.reg_gen <- t.gen;
+            (* the generation guard inside the listener turns a stale
+               kernel's fan-out into no-ops once a later kernel takes over
+               the component *)
             List.iter
-              (fun s -> Signal.on_change s (fun () -> mark_dirty t c))
+              (fun s ->
+                Signal.on_change s (fun () ->
+                    if c.Component.reg_gen = t.gen then mark_dirty t c))
               signals;
             (* newly registered components evaluate once to establish their
                outputs, exactly like the sweep's first pass would *)
@@ -149,20 +173,27 @@ let seal t =
           end)
     t.comps_fwd;
   t.edge_comps <- Array.of_list (List.rev !edge);
+  if t.sched = `Compiled then t.tape <- Some (Tape.compile t.comps_fwd);
   t.sealed <- true
 
 let settle t =
   if not t.sealed then seal t;
   let comps = t.comps_fwd in
   let evals = ref 0 in
+  (* [iters] counts {e productive} delta passes — passes that changed at
+     least one signal — identically for all three schedulers (a quiescent
+     settle reports 0). Divergence guards still count {e executed} passes,
+     so a design oscillating under [max_comb_iters] unproductive-free
+     passes is caught no later than before. *)
   let iters =
     match t.sched with
     | `Sweep ->
         (* legacy scheduler: re-evaluate every component on every delta pass
            until a pass leaves the global change counter untouched *)
-        let rec go i =
-          if i >= t.max_comb_iters then
-            raise (Comb_divergence { cycle = t.cycle_count; iterations = i });
+        let rec go executed productive =
+          if executed >= t.max_comb_iters then
+            raise
+              (Comb_divergence { cycle = t.cycle_count; iterations = executed });
           let before = Signal.change_count () in
           (match t.rec_ with
           | None -> Array.iter (fun (c : Component.t) -> c.Component.comb ()) comps
@@ -172,11 +203,24 @@ let settle t =
                   c.Component.comb ();
                   record_eval r c)
                 comps);
-          if Signal.change_count () <> before then go (i + 1) else i + 1
+          evals := !evals + Array.length comps;
+          if Signal.change_count () <> before then go (executed + 1) (productive + 1)
+          else productive
         in
-        let iters = go 0 in
-        evals := iters * Array.length comps;
-        iters
+        go 0 0
+    | `Compiled ->
+        let tape =
+          match t.tape with
+          | Some tape -> tape
+          | None -> assert false (* seal always compiles under [`Compiled] *)
+        in
+        (match Tape.settle tape ~max_iters:t.max_comb_iters ~record:t.rec_fn with
+        | productive, ev ->
+            evals := ev;
+            productive
+        | exception Tape.Divergence executed ->
+            raise
+              (Comb_divergence { cycle = t.cycle_count; iterations = executed }))
     | `Event ->
         (* event-driven scheduler: a delta pass only evaluates dirty
            components (in registration order, so in-pass propagation matches
@@ -217,18 +261,21 @@ let settle t =
                       incr evals
                     end)
         in
-        let rec go i =
-          if t.n_dirty = 0 && not t.has_always then i
-          else if i >= t.max_comb_iters then
-            raise (Comb_divergence { cycle = t.cycle_count; iterations = i })
+        let rec go executed productive =
+          if t.n_dirty = 0 && not t.has_always then productive
+          else if executed >= t.max_comb_iters then
+            raise
+              (Comb_divergence { cycle = t.cycle_count; iterations = executed })
           else begin
             let before = Signal.change_count () in
             Array.iter step comps;
-            if Signal.change_count () <> before || t.n_dirty > 0 then go (i + 1)
-            else i + 1
+            let changed = Signal.change_count () <> before in
+            let productive = if changed then productive + 1 else productive in
+            if changed || t.n_dirty > 0 then go (executed + 1) productive
+            else productive
           end
         in
-        go 0
+        go 0 0
   in
   t.comb_iters_total <- t.comb_iters_total + iters;
   t.comb_evals_total <- t.comb_evals_total + !evals;

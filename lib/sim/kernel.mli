@@ -17,9 +17,26 @@
     (see {!Component.make}) changed — via a signal fan-out listener, a clock
     edge (state-sensitive components), or the legacy always-dirty fallback.
     The [`Sweep] scheduler is the original behaviour — every component on
-    every pass — kept for the E14 ablation and as a migration oracle: both
-    schedulers produce identical settled values, cycle counts, and traces
-    for components whose sensitivity declarations are accurate.
+    every pass — kept for the E14 ablation and as a migration oracle.
+
+    The [`Compiled] scheduler compiles the sealed design into a linear
+    op-tape (see {!Tape}): the component graph is levelized from the
+    declared sensitivities, read-signal state is flattened into contiguous
+    structure-of-arrays buffers, and the settle loop walks the tape with an
+    int-bitset dirty set and zero allocation — no per-signal listener
+    closures at all. All three schedulers produce identical settled values,
+    cycle counts, and traces for components whose sensitivity declarations
+    are accurate; [`Event] and [`Sweep] serve as differential oracles for
+    [`Compiled] in the fuzz grids.
+
+    {e Iteration accounting} is uniform across schedulers: a kernel's
+    [comb_iters] counts {e productive} delta passes — passes in which at
+    least one signal changed value. A settle that finds the design already
+    quiescent reports 0 for every scheduler (the bookkeeping pass that
+    merely verifies the fixpoint is not counted, and the per-scheduler
+    divergence guards keep counting executed passes). [comb_evals], by
+    contrast, counts callback invocations and legitimately differs between
+    schedulers — it is the work a better scheduler saves.
 
     The first cycle (or any cycle after a registration) {e seals} the
     kernel: registration lists are snapshotted into forward-order arrays and
@@ -41,9 +58,11 @@
 
 type t
 
-type sched = [ `Event | `Sweep ]
+type sched = [ `Event | `Sweep | `Compiled ]
 (** [`Event]: dirty-set scheduling driven by sensitivity lists (default).
-    [`Sweep]: legacy re-evaluate-everything fixpoint loop. *)
+    [`Sweep]: legacy re-evaluate-everything fixpoint loop.
+    [`Compiled]: seal-time op-tape compilation (levelize → SoA flatten →
+    tape emit), allocation-free settle — see {!Tape}. *)
 
 type stats = {
   cycles : int;
@@ -51,9 +70,11 @@ type stats = {
   comb_evals : int;
   checks_run : int;
 }
-(** Aggregate kernel counters: cycles simulated, total delta passes across
-    all cycles, total comb-callback invocations (the work the event
-    scheduler saves), total protocol-check executions. *)
+(** Aggregate kernel counters: cycles simulated, total {e productive} delta
+    passes across all cycles (identical across schedulers on an accurately
+    declared design), total comb-callback invocations (the work a better
+    scheduler saves — this one differs by design), total protocol-check
+    executions. *)
 
 exception Comb_divergence of { cycle : int; iterations : int }
 

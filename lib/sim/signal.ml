@@ -3,6 +3,9 @@ open Splice_obs
 
 type t = {
   name : string;
+  uid : int;
+      (* domain-unique id, never reused and never reset (unlike the default
+         [sigN] name counter) — the compiled tape keys its slot table on it *)
   width : int;
   mutable value : Bits.t;
   mutable listeners : (unit -> unit) list;
@@ -15,6 +18,11 @@ type t = {
   mutable rec_id : int;
       (* cached flight-recorder intern id, valid while rec_stamp matches the
          attached recorder's stamp — a recorded transition never hashes *)
+  mutable tape_stamp : int;
+  mutable tape_slot : int;
+      (* cached compiled-tape slot (same idiom): valid while tape_stamp
+         matches the settling tape's stamp, so the tape's touch hook never
+         hashes in the steady state *)
 }
 
 (* The signal store (change counter, deferred-write queue, name counter,
@@ -27,10 +35,17 @@ type store = {
   mutable changes : int;
   mutable s_pending : (t * Bits.t) list;
   mutable counter : int;
+  mutable uid_counter : int;
+      (* unlike [counter] this one is never reset: uids stay unique for the
+         lifetime of the domain, even across [reset_names] *)
   mutable commit_epoch : int;
   mutable s_recorder : Recorder.t option;
       (* the cycling kernel's flight recorder (re-attached every cycle);
          every actual value change in this domain is recorded into it *)
+  mutable s_touch : (t -> unit) option;
+      (* the settling compiled tape's write hook (installed only for the
+         duration of a settle): fired on every actual value change so the
+         tape can mark reader components dirty without per-signal listeners *)
 }
 
 let store_key : store Domain.DLS.key =
@@ -39,8 +54,10 @@ let store_key : store Domain.DLS.key =
         changes = 0;
         s_pending = [];
         counter = 0;
+        uid_counter = 0;
         commit_epoch = 0;
         s_recorder = None;
+        s_touch = None;
       })
 
 let store () = Domain.DLS.get store_key
@@ -48,20 +65,25 @@ let store () = Domain.DLS.get store_key
 let create ?name width =
   let st = store () in
   st.counter <- st.counter + 1;
+  st.uid_counter <- st.uid_counter + 1;
   let name =
     match name with Some n -> n | None -> Printf.sprintf "sig%d" st.counter
   in
   {
     name;
+    uid = st.uid_counter;
     width;
     value = Bits.zero width;
     listeners = [];
     commit_stamp = 0;
     rec_stamp = 0;
     rec_id = -1;
+    tape_stamp = 0;
+    tape_slot = -1;
   }
 
 let name t = t.name
+let uid t = t.uid
 let width t = t.width
 let get t = t.value
 let get_bool t = Bits.to_bool t.value
@@ -70,6 +92,13 @@ let get_int t = Bits.to_int t.value
 let on_change t f = t.listeners <- f :: t.listeners
 
 let attach_recorder r = (store ()).s_recorder <- r
+let set_touch h = (store ()).s_touch <- h
+let tape_stamp t = t.tape_stamp
+let tape_slot t = t.tape_slot
+
+let cache_tape_slot t ~stamp ~slot =
+  t.tape_stamp <- stamp;
+  t.tape_slot <- slot
 
 (* cold only on the first transition per (signal, recorder) pair *)
 let record_change r t =
@@ -96,6 +125,7 @@ let set t v =
     let st = store () in
     st.changes <- st.changes + 1;
     (match st.s_recorder with None -> () | Some r -> record_change r t);
+    (match st.s_touch with None -> () | Some h -> h t);
     match t.listeners with
     | [] -> ()
     | ls -> List.iter (fun f -> f ()) ls
@@ -124,11 +154,18 @@ let change_count () = (store ()).changes
 let commit_pending () =
   (* Last write wins: the list is newest-first, so the first write stamped
      with the current epoch shadows any older queued writes to the same
-     signal — a single O(n) scan, no membership lists. *)
+     signal — a single O(n) scan, no membership lists.
+
+     The queue is detached {e before} the scan: if an apply raises (a
+     [Width_mismatch] from [set], or a listener failing), the queue is
+     already empty and the next cycle cannot silently replay the stale
+     writes. Epoch stamps need no restoring — the next commit bumps the
+     epoch, so half-applied stamps are never mistaken for current ones. *)
   let st = store () in
-  (match st.s_pending with
+  match st.s_pending with
   | [] -> ()
   | writes ->
+      st.s_pending <- [];
       st.commit_epoch <- st.commit_epoch + 1;
       let epoch = st.commit_epoch in
       List.iter
@@ -137,8 +174,7 @@ let commit_pending () =
             s.commit_stamp <- epoch;
             set s v
           end)
-        writes);
-  st.s_pending <- []
+        writes
 
 let clear_pending () = (store ()).s_pending <- []
 

@@ -22,6 +22,12 @@ val create : ?name:string -> int -> t
 (** [create ~name width] with initial value zero. *)
 
 val name : t -> string
+
+val uid : t -> int
+(** Domain-unique id, assigned at creation and never reused. Unlike the
+    default-name counter it is not affected by {!reset_names}, so it is a
+    safe hash key for side tables (the compiled scheduler's slot map). *)
+
 val width : t -> int
 
 val get : t -> Bits.t
@@ -66,8 +72,28 @@ val attach_recorder : Splice_obs.Recorder.t option -> unit
     domain never record into each other's rings. Intern ids are cached on
     the signal (keyed by the recorder's stamp): recording never hashes. *)
 
+val set_touch : (t -> unit) option -> unit
+(** Install (or with [None] remove) the domain-local write hook: it fires on
+    every {e actual} value change, after the recorder but before the fan-out
+    listeners. The compiled scheduler installs it only for the duration of a
+    settle to maintain its dirty bitset; at most one hook is active per
+    domain, and installers must remove it on every exit path. *)
+
+val tape_stamp : t -> int
+val tape_slot : t -> int
+
+val cache_tape_slot : t -> stamp:int -> slot:int -> unit
+(** Tape-owned slot cache (the {!Splice_obs.Recorder} intern-id idiom):
+    {!tape_slot} is valid while {!tape_stamp} equals the asking tape's
+    stamp, so the settle-time write hook resolves signal → slot with two
+    field reads instead of a hash lookup. [-1] encodes "no tape component
+    reads this signal". *)
+
 val commit_pending : unit -> unit
-(** Apply all queued {!set_next} writes. Called by the kernel. *)
+(** Apply all queued {!set_next} writes. Called by the kernel. The queue is
+    emptied before any write is applied, so an exception raised mid-commit
+    (e.g. a [Width_mismatch]) never leaves stale writes to be replayed by
+    the next cycle. *)
 
 val clear_pending : unit -> unit
 (** Drop queued writes (used when tearing a simulation down mid-cycle). *)

@@ -1,0 +1,45 @@
+(** Compiled op-tape scheduler: the sealed design, levelized and flattened.
+
+    {!compile} turns a sealed component array into a linear evaluation tape:
+
+    + {e levelize} — build the writer→reader graph from the declared
+      [Reads] sensitivity lists (writes discovered by a one-shot calibration
+      pass with a recording {!Signal.set_touch} hook) and order it with
+      Kahn's algorithm, registration index breaking ties and combinational
+      cycles;
+    + {e SoA flatten} — intern every read signal into a slot of contiguous
+      structure-of-arrays buffers: values of width ≤ 63 packed as immediate
+      ints, 64-bit signals in a [Bits.t] side table;
+    + {e tape emit} — precompute, per slot, the bitmask of reader positions,
+      plus the mask of edge-sensitive positions re-armed every settle.
+
+    {!settle} then walks the tape with zero allocation in the steady state:
+    dirtiness is an int bitset over tape positions; writes flow through the
+    domain-local touch hook (installed only while settling) straight into a
+    bitmask OR. [`Always`] components are pinned to every pass. Settled
+    values are bit-identical to the [`Event`]/[`Sweep`] schedulers — the
+    tape still iterates to the same fixpoint, it only schedules fewer,
+    better-ordered evaluations.
+
+    A tape snapshots value state at compile time and re-syncs by diffing
+    slots at every settle entry, so testbench writes between cycles and
+    seq-phase commits are picked up without any listener registration. *)
+
+type t
+
+exception Divergence of int
+(** Raised by {!settle} with the number of passes executed when the fixpoint
+    is not reached within [max_iters]. The touch hook is detached first. *)
+
+val compile : Component.t array -> t
+(** [compile comps] builds the tape for a sealed kernel's forward-order
+    component array. Runs every comb callback once (the calibration pass —
+    exactly the all-dirty first pass the interpreted schedulers start from),
+    so signals settle toward the same first-cycle fixpoint. *)
+
+val settle : t -> max_iters:int -> record:(Component.t -> unit) option -> (int * int)
+(** [settle t ~max_iters ~record] runs delta passes until quiescent and
+    returns [(productive_passes, evaluations)] — a pass is productive when
+    it changed at least one signal (the uniform iteration accounting, see
+    {!Kernel.stats}). [record] is the kernel's preallocated flight-recorder
+    hook ([None] when tracing is off). *)

@@ -158,6 +158,40 @@ let diff_tests =
               (Format.asprintf "unexpected failure: %a" Diff.pp_failure f));
         check_int "3 iterations" 3 report.Diff.r_iterations;
         check_bool "calls executed" true (report.Diff.r_calls > 0));
+    t "compiled scheduler matches the oracles bit-for-bit at -j 1 and -j 4"
+      (fun () ->
+        (* every (spec, bus) cell of the fixed corpus runs under event,
+           sweep and the compiled op-tape; [exec_bus] raises on any
+           per-call cycle-count disagreement and the golden model on any
+           data difference, so a clean report IS the bit-for-bit property.
+           The digest folds every per-call cycle count under every
+           scheduler, and must be identical with and without a pool. *)
+        let config =
+          {
+            Diff.default_config with
+            seed = 11;
+            count = 4;
+            scheds = [ `Event; `Sweep; `Compiled ];
+          }
+        in
+        let seq = Diff.run config in
+        (match seq.Diff.r_failure with
+        | None -> ()
+        | Some f ->
+            Alcotest.fail
+              (Format.asprintf "compiled scheduler diverged: %a"
+                 Diff.pp_failure f));
+        check_bool "calls cover all three schedulers" true
+          (seq.Diff.r_calls > 0 && seq.Diff.r_calls mod 3 = 0);
+        let pool = Option.get (Pool.of_jobs 4) in
+        let par =
+          Fun.protect
+            ~finally:(fun () -> Pool.shutdown pool)
+            (fun () -> Diff.run ~pool config)
+        in
+        check_bool "parallel run clean" true (par.Diff.r_failure = None);
+        check_bool "digests agree at -j 4" true
+          (Int64.equal seq.Diff.r_digest par.Diff.r_digest));
     t "every registered bus participates in the matrix" (fun () ->
         let report =
           Diff.run { Diff.default_config with seed = 1; count = 1 }

@@ -142,15 +142,21 @@ let ablation_tests =
         List.iter
           (fun p -> check_int "flat" first p.Experiment.Arbitration.cycles)
           points);
-    t "E14: event scheduler cycles identically with fewer comb evals" (fun () ->
+    t "E14: event and compiled cycle identically with fewer comb evals"
+      (fun () ->
         (* fast subset of the full bench table: one Fig 9.2 implementation
-           plus one arbitration width *)
+           plus one arbitration width; [agree] spans all three schedulers *)
         List.iter
           (fun (p : Experiment.Scheduler.point) ->
             check_bool (p.Experiment.Scheduler.label ^ ": cycles agree") true
               (Experiment.Scheduler.agree p);
             check_bool (p.Experiment.Scheduler.label ^ ": fewer evals") true
               (p.Experiment.Scheduler.evals_event
+              < p.Experiment.Scheduler.evals_sweep);
+            check_bool
+              (p.Experiment.Scheduler.label ^ ": tape no worse than sweep")
+              true
+              (p.Experiment.Scheduler.evals_compiled
               < p.Experiment.Scheduler.evals_sweep))
           [
             Experiment.Scheduler.interp_point Interpolator.Splice_plb_simple;

@@ -154,7 +154,15 @@ let kernel_tests =
   [
     t "stats mirror the run and the sim/* metrics" (fun () ->
         let k = Kernel.create () in
-        Kernel.add k (Component.make ~comb:(fun () -> ()) "nop");
+        (* the comb must actually change a signal: iterations count
+           productive delta passes, so a pure nop would record 0 *)
+        let s = Signal.create 8 in
+        let n = ref 0 in
+        Kernel.add k
+          (Component.make
+             ~comb:(fun () -> Signal.set_int s ((!n + 1) land 0xff))
+             ~seq:(fun () -> incr n)
+             "counter");
         Kernel.add_check k "noop" (fun _ -> ());
         Kernel.run k 10;
         let s = Kernel.stats k in

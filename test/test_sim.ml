@@ -47,6 +47,28 @@ let signal_tests =
         Signal.clear_pending ();
         Signal.commit_pending ();
         check_int "dropped" 0 (Signal.get_int s));
+    t "commit_pending never replays writes after a mid-commit raise" (fun () ->
+        (* regression: an exception raised while applying the queue used to
+           leave [s_pending] populated, so the next cycle's commit silently
+           replayed the stale writes over anything set since *)
+        let a = Signal.create 8 and b = Signal.create 8 in
+        let armed = ref true in
+        Signal.on_change b (fun () ->
+            if !armed then begin
+              armed := false;
+              failwith "listener boom"
+            end);
+        Signal.set_next_int b 1;
+        Signal.set_next_int a 1 (* applied first: the queue is newest-first *);
+        (match Signal.commit_pending () with
+        | () -> Alcotest.fail "expected the listener to raise"
+        | exception Failure _ -> ());
+        check_int "write before the raise applied" 1 (Signal.get_int a);
+        (* the aborted commit must have emptied the queue *)
+        Signal.set_int a 5;
+        Signal.commit_pending ();
+        check_int "no stale replay" 5 (Signal.get_int a);
+        check_int "interrupted write stands" 1 (Signal.get_int b));
   ]
 
 let kernel_tests =
@@ -122,6 +144,28 @@ let kernel_tests =
         Kernel.on_cycle_end k (fun c -> hits := c :: !hits);
         Kernel.run k 3;
         Alcotest.(check (list int)) "hooks" [ 3; 2; 1 ] !hits);
+    t "a component reused by a re-created kernel re-registers" (fun () ->
+        (* regression: the sticky [registered] flag made a second kernel
+           skip listener registration for a reused component — source
+           changes then marked the dead kernel's dirty counter and the new
+           kernel never re-evaluated the component *)
+        let src = Signal.create 8 and out = Signal.create 8 in
+        let c =
+          Component.make ~reads:[ src ]
+            ~comb:(fun () -> Signal.set out (Signal.get src))
+            "copy"
+        in
+        let k1 = Kernel.create () in
+        Kernel.add k1 c;
+        Signal.set_int src 3;
+        Kernel.cycle k1;
+        check_int "first kernel propagates" 3 (Signal.get_int out);
+        let k2 = Kernel.create () in
+        Kernel.add k2 c;
+        Kernel.cycle k2;
+        Signal.set_int src 9;
+        Kernel.cycle k2;
+        check_int "re-created kernel still propagates" 9 (Signal.get_int out));
   ]
 
 let scheduler_tests =
@@ -152,6 +196,16 @@ let scheduler_tests =
         Signal.set_int src 4;
         Kernel.cycle k;
         check_int "re-propagated" 4 (Signal.get_int w2));
+    t "compiled tape propagates through a chain" (fun () ->
+        (* the second set happens between cycles, with no settle running —
+           the tape's snapshot scan must pick it up without any listener *)
+        let src, w2, k = chain `Compiled in
+        Signal.set_int src 9;
+        Kernel.cycle k;
+        check_int "propagated" 9 (Signal.get_int w2);
+        Signal.set_int src 4;
+        Kernel.cycle k;
+        check_int "re-propagated" 4 (Signal.get_int w2));
     t "quiescent components are not re-evaluated" (fun () ->
         let run sched =
           let src, w2, k = chain sched in
@@ -161,11 +215,40 @@ let scheduler_tests =
         in
         let v_event, evals_event = run `Event in
         let v_sweep, evals_sweep = run `Sweep in
+        let v_compiled, evals_compiled = run `Compiled in
         check_int "same output" v_sweep v_event;
+        check_int "same output (compiled)" v_sweep v_compiled;
         check_bool
           (Printf.sprintf "fewer evals (%d < %d)" evals_event evals_sweep)
           true
-          (evals_event < evals_sweep));
+          (evals_event < evals_sweep);
+        check_bool
+          (Printf.sprintf "tape no worse (%d <= %d)" evals_compiled
+             evals_event)
+          true
+          (evals_compiled <= evals_event));
+    t "iteration accounting is uniform: productive passes only" (fun () ->
+        (* regression for the scheduler accounting skew: sweep used to
+           report a minimum of one pass per settle (i + 1 on convergence)
+           while event could report 0 — now every scheduler counts passes
+           that changed at least one signal. On the reversed 2-level chain
+           the first cycle needs 2 in-order passes interpreted (the
+           levelized tape needs 1), and a quiescent cycle counts 0 for all
+           three. *)
+        let counts sched =
+          let src, _, k = chain sched in
+          Signal.set_int src 9;
+          Kernel.cycle k;
+          let first = (Kernel.stats k).Kernel.comb_iters in
+          Kernel.cycle k;
+          (first, (Kernel.stats k).Kernel.comb_iters - first)
+        in
+        let check_pair name exp got =
+          Alcotest.(check (pair int int)) name exp got
+        in
+        check_pair "event (first, quiescent)" (2, 0) (counts `Event);
+        check_pair "sweep (first, quiescent)" (2, 0) (counts `Sweep);
+        check_pair "compiled (first, quiescent)" (1, 0) (counts `Compiled));
     t "seq-only kernel performs zero comb evals" (fun () ->
         let n = ref 0 in
         let k = Kernel.create () in
@@ -178,6 +261,21 @@ let scheduler_tests =
            evaluation re-marks it dirty and the delta loop never drains *)
         let s = Signal.create 8 in
         let k = Kernel.create ~max_comb_iters:8 () in
+        Kernel.add k
+          (Component.make ~reads:[ s ]
+             ~comb:(fun () -> Signal.set s (Bits.succ (Signal.get s)))
+             "oscillator");
+        (match Kernel.cycle k with
+        | () -> Alcotest.fail "expected divergence"
+        | exception Kernel.Comb_divergence { iterations; _ } ->
+            check_int "gave up at the limit" 8 iterations);
+        Signal.clear_pending ());
+    t "comb divergence detected under the compiled scheduler" (fun () ->
+        (* same self-loop: the tape's reader mask re-marks the oscillator
+           on every write, and the divergence guard counts executed passes
+           exactly like the interpreted schedulers *)
+        let s = Signal.create 8 in
+        let k = Kernel.create ~max_comb_iters:8 ~sched:`Compiled () in
         Kernel.add k
           (Component.make ~reads:[ s ]
              ~comb:(fun () -> Signal.set s (Bits.succ (Signal.get s)))
@@ -201,6 +299,21 @@ let scheduler_tests =
              "edge");
         Kernel.run k 3;
         (* settled (pre-edge) view of the third cycle *)
+        check_int "tracks state" 2 (Signal.get_int out));
+    t "edge-sensitive components re-arm under the compiled scheduler"
+      (fun () ->
+        (* no input signal ever changes, so nothing marks the tape dirty —
+           only the edge mask ORed in at every settle keeps the component
+           tracking its internal state *)
+        let out = Signal.create 8 in
+        let count = ref 0 in
+        let k = Kernel.create ~sched:`Compiled () in
+        Kernel.add k
+          (Component.make ~reads:[] ~state:true
+             ~comb:(fun () -> Signal.set_int out !count)
+             ~seq:(fun () -> incr count)
+             "edge");
+        Kernel.run k 3;
         check_int "tracks state" 2 (Signal.get_int out));
   ]
 
@@ -273,7 +386,7 @@ let wave_tests =
           (Astring_contains.contains contents "#2\nb11111111");
         check_bool "not under #1" false
           (Astring_contains.contains contents "#1\nb11111111"));
-    t "vcd dump is identical under event and sweep schedulers" (fun () ->
+    t "vcd dump is identical under all three schedulers" (fun () ->
         (* full-stack equivalence: the complete Fig 9.2 driver call, traced
            signal-by-signal and cycle-by-cycle *)
         let dump sched =
@@ -289,17 +402,28 @@ let wave_tests =
             Splice.Interpolator.run host (Splice.Interp_scenarios.by_id 1)
           in
           Vcd.close vcd;
+          let stats = Kernel.stats (Splice.Host.kernel host) in
           let ic = open_in path in
           let contents = really_input_string ic (in_channel_length ic) in
           close_in ic;
           Sys.remove path;
-          (r, c, contents)
+          (r, c, contents, stats)
         in
-        let r_e, c_e, d_e = dump `Event in
-        let r_s, c_s, d_s = dump `Sweep in
+        let r_e, c_e, d_e, s_e = dump `Event in
+        let r_s, c_s, d_s, s_s = dump `Sweep in
+        let r_c, c_c, d_c, s_c = dump `Compiled in
         Alcotest.(check int64) "result" r_s r_e;
+        Alcotest.(check int64) "result (compiled)" r_s r_c;
         check_int "cycles" c_s c_e;
-        Alcotest.(check string) "vcd dumps" d_s d_e);
+        check_int "cycles (compiled)" c_s c_c;
+        Alcotest.(check string) "vcd dumps" d_s d_e;
+        Alcotest.(check string) "vcd dumps (compiled)" d_s d_c;
+        (* scheduler-independent kernel stats agree too; comb_iters/evals
+           legitimately differ (that is the point of a better scheduler) *)
+        check_int "stats cycles" s_s.Kernel.cycles s_c.Kernel.cycles;
+        check_int "stats checks_run" s_s.Kernel.checks_run
+          s_c.Kernel.checks_run;
+        check_int "stats cycles (event)" s_s.Kernel.cycles s_e.Kernel.cycles);
   ]
 
 let determinism_tests =
