@@ -404,7 +404,38 @@ let fuzz_cmd =
              random (canonical per-iteration) seeds — the baseline side of \
              experiment E17.")
   in
-  let run seed count bus sched quiet jobs json record cover no_guide =
+  let clock_ratio =
+    let parse s =
+      match String.split_on_char ':' s with
+      | [ a; b ] -> (
+          match (int_of_string_opt a, int_of_string_opt b) with
+          | Some a, Some b when a >= 1 && b >= 1 -> Ok (a, b)
+          | _ -> Error (`Msg (Printf.sprintf "bad clock ratio %S (want A:B, both >= 1)" s)))
+      | _ -> Error (`Msg (Printf.sprintf "bad clock ratio %S (want A:B)" s))
+    in
+    let print fmt (a, b) = Format.fprintf fmt "%d:%d" a b in
+    Arg.(
+      value
+      & opt (some (conv (parse, print))) None
+      & info [ "clock-ratio" ] ~docv:"A:B"
+          ~doc:
+            "Pin the ACLK:PCLK clock-frequency ratio of CDC buses (axi) \
+             instead of letting every iteration draw one — e.g. $(b,3:1) \
+             runs the AXI front end at three times the peripheral clock. \
+             Echoed by failure reproduction commands.")
+  in
+  let fifo_depth =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fifo-depth" ] ~docv:"N"
+          ~doc:
+            "Pin the CDC command/response FIFO depth of CDC buses (axi) to \
+             $(docv) (a power of two in 2..64) instead of letting every \
+             iteration draw one.")
+  in
+  let run seed count bus sched quiet jobs json record cover no_guide
+      clock_ratio fifo_depth =
     let seed =
       match seed with
       | Some s -> s
@@ -435,8 +466,15 @@ let fuzz_cmd =
         scheds;
         cover = cover <> None;
         guide = cover <> None && not no_guide;
+        ratio = clock_ratio;
+        depth = fifo_depth;
       }
     in
+    (match fifo_depth with
+    | Some d when d < 2 || d > 64 || d land (d - 1) <> 0 ->
+        Printf.eprintf "bad --fifo-depth %d (want a power of two in 2..64)\n" d;
+        exit 2
+    | _ -> ());
     Printf.printf "splice fuzz: seed=%d count=%d buses=%s scheds=%s jobs=%d\n%!"
       seed count
       (String.concat ","
@@ -576,7 +614,7 @@ let fuzz_cmd =
           on failure.")
     Term.(
       const run $ seed $ count $ bus $ sched $ quiet $ jobs_arg $ json $ record
-      $ cover $ no_guide)
+      $ cover $ no_guide $ clock_ratio $ fifo_depth)
 
 let trace_cmd =
   (* [some string], not [some file]: a missing path must reach [Query.load]

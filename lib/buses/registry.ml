@@ -1,7 +1,7 @@
 let builtins : (module Bus.S) list =
   [
     (module Plb); (module Opb); (module Fcb); (module Apb); (module Ahb);
-    (module Wishbone); (module Avalon);
+    (module Wishbone); (module Avalon); (module Axi);
   ]
 
 let user : (module Bus.S) list ref = ref []

@@ -20,7 +20,12 @@
     - {b Avalon}: address/writedata changing while [av_waitrequest] stalls
       the master;
     - {b Wishbone}: [ACK_O] with [CYC_I]/[STB_I] negated (no classic cycle
-      in progress).
+      in progress);
+    - {b AXI}: the APB axioms on the bridge's SIS side (gated to the
+      peripheral clock domain), plus a second native-side check
+      ["axi-channels"] at ACLK edges — VALID held with stable payload until
+      READY on all five channels, responses never outnumbering accepted
+      requests, OKAY-only responses.
 
     Buses registered by users without a dedicated monitor get a generic
     checker derived from their {!Splice_syntax.Bus_caps.t}. *)

@@ -14,6 +14,8 @@ type config = {
   guide : bool;
   guide_candidates : int;
   guide_batch : int;
+  ratio : (int * int) option;
+  depth : int option;
 }
 
 let default_config =
@@ -27,6 +29,8 @@ let default_config =
     guide = false;
     guide_candidates = 8;
     guide_batch = 10;
+    ratio = None;
+    depth = None;
   }
 
 type failure = {
@@ -37,6 +41,8 @@ type failure = {
   f_func : string option;
   f_message : string;
   f_spec : Specgen.gspec;
+  f_ratio : int * int;
+  f_depth : int;
   f_dump : string option;
 }
 
@@ -93,7 +99,11 @@ let digest_failure acc f =
   let acc = mix_string acc (sched_name f.f_sched) in
   let acc = mix_string acc (Option.value ~default:"" f.f_func) in
   let acc = mix_string acc f.f_message in
-  mix_string acc (Specgen.render f.f_spec)
+  let acc = mix_string acc (Specgen.render f.f_spec) in
+  let ra, rb = f.f_ratio in
+  mix
+    (mix acc (Int64.of_int ((ra lsl 16) lor rb)))
+    (Int64.of_int f.f_depth)
 
 (* traffic is derived from a fixed offset of the iteration seed, not from
    the spec generator's final state — so a shrunk spec keeps deterministic
@@ -136,9 +146,19 @@ let exec ~max_cycles ~iseed ~cover g bus sched =
           cover;
         let host =
           Fun.protect
-            ~finally:(fun () -> Splice_cover.Cover.set_ambient None)
+            ~finally:(fun () ->
+              Splice_cover.Cover.set_ambient None;
+              Axi.set_cdc None)
             (fun () ->
               Splice_cover.Cover.set_ambient cover;
+              (* the CDC sweep dimensions ride on the gspec; connect reads
+                 them once, so clearing after Host.create is safe *)
+              Axi.set_cdc
+                (Some
+                   {
+                     Axi.ratio = g.Specgen.g_ratio;
+                     depth = g.Specgen.g_depth;
+                   });
               Host.create ~sched spec
                 ~behaviors:
                   (Specgen.behavior ~calc_cycles:tr.Specgen.t_calc_cycles))
@@ -240,17 +260,30 @@ let exec_bus ~max_cycles ~iseed ~cover g bus scheds =
       | [] -> Ok runs)
 
 let repro_command f =
-  Printf.sprintf "splice fuzz --seed %d --count 1 --bus %s" f.f_seed f.f_bus
+  let cdc =
+    (* only a CDC bus consumes the pins, so only its repros carry them *)
+    if f.f_bus = "axi" then
+      Printf.sprintf " --clock-ratio %d:%d --fifo-depth %d" (fst f.f_ratio)
+        (snd f.f_ratio) f.f_depth
+    else ""
+  in
+  Printf.sprintf "splice fuzz --seed %d --count 1 --bus %s%s" f.f_seed f.f_bus
+    cdc
 
 let pp_failure fmt f =
   Format.fprintf fmt
-    "@[<v>FAIL on bus %s (%s scheduler), iteration %d, seed %d%a:@,  %s@,@,\
+    "@[<v>FAIL on bus %s (%s scheduler), iteration %d, seed %d%a%a:@,  %s@,@,\
      shrunk specification:@,%a@,reproduce with:@,  %s@]"
     f.f_bus (sched_name f.f_sched) f.f_iteration f.f_seed
     (fun fmt -> function
       | Some fn -> Format.fprintf fmt ", function %s" fn
       | None -> ())
-    f.f_func f.f_message Specgen.pp f.f_spec (repro_command f)
+    f.f_func
+    (fun fmt f ->
+      if f.f_bus = "axi" then
+        Format.fprintf fmt ", clock ratio %d:%d, fifo depth %d" (fst f.f_ratio)
+          (snd f.f_ratio) f.f_depth)
+    f f.f_message Specgen.pp f.f_spec (repro_command f)
 
 (* Greedy structural shrinking: keep taking the first smaller candidate that
    still fails on the same bus, bounded by a predicate-evaluation budget. *)
@@ -500,6 +533,18 @@ let run ?(log = ignore) ?pool config =
             let iseed = seeds.(it - batch_lo) in
             (* generate with a throwaway bus; the matrix overrides it *)
             let g = Specgen.spec ~buses (Specgen.Rng.make iseed) in
+            (* CLI pins override the drawn CDC dimensions (repro contract:
+               --seed regenerates the spec, the pins force the crossing) *)
+            let g =
+              match config.ratio with
+              | None -> g
+              | Some r -> { g with Specgen.g_ratio = r }
+            in
+            let g =
+              match config.depth with
+              | None -> g
+              | Some d -> { g with Specgen.g_depth = d }
+            in
             let cmap =
               Option.map (fun _ -> Splice_cover.Cover.create ()) agg
             in
@@ -546,6 +591,8 @@ let run ?(log = ignore) ?pool config =
                     f_func = func';
                     f_message = msg';
                     f_spec = g';
+                    f_ratio = g'.Specgen.g_ratio;
+                    f_depth = g'.Specgen.g_depth;
                     (* the dump of the *shrunk* failing run — like the rest of
                        the failure it is a deterministic function of the task
                        seed, but it is not folded into the digest (the digest

@@ -45,6 +45,11 @@ type config = {
           trajectory sample is recorded) every [guide_batch] iterations,
           independent of the pool's chunking, so guided runs are
           [-j]-invariant *)
+  ratio : (int * int) option;
+      (** pin the ACLK:PCLK clock ratio of CDC buses (axi) instead of
+          letting each iteration draw one — the [--clock-ratio] flag *)
+  depth : int option;
+      (** pin the CDC FIFO depth (power of two) — the [--fifo-depth] flag *)
 }
 
 val default_config : config
@@ -60,6 +65,10 @@ type failure = {
   f_func : string option;
   f_message : string;
   f_spec : Specgen.gspec;  (** already shrunk *)
+  f_ratio : int * int;
+      (** the (shrunk) clock ratio the failure reproduces at — echoed in
+          {!repro_command} as [--clock-ratio] on CDC buses *)
+  f_depth : int;  (** the (shrunk) CDC FIFO depth ([--fifo-depth]) *)
   f_dump : string option;
       (** flight-recorder dump (JSON, see {!Splice_obs.Recorder.dump}) of
           the {e shrunk} failing run, serialized at the moment of failure —

@@ -29,6 +29,11 @@ type gspec = {
   g_funcs : gfunc list;
   g_packing : bool;
   g_burst : bool;
+  (* CDC simulation parameters — meaningful on multi-clock buses (axi),
+     carried (and shrunk) as first-class spec dimensions, rendered as
+     nothing: they configure the kernel, not the declaration *)
+  g_ratio : int * int;
+  g_depth : int;
 }
 
 let scalar_types = [ "char"; "short"; "int"; "unsigned"; "double" ]
@@ -68,8 +73,14 @@ let spec ?buses rng =
   let bus = Rng.choose rng buses in
   let nfuncs = 1 + Rng.int rng 4 in
   let funcs = List.init nfuncs (fun i -> gen_func rng i) in
-  { g_bus = bus; g_funcs = funcs; g_packing = Rng.bool rng;
-    g_burst = Rng.bool rng }
+  let packing = Rng.bool rng in
+  let burst = Rng.bool rng in
+  (* drawn after every pre-existing draw so historical seeds keep
+     generating the same declaration shapes *)
+  let ratio = Rng.choose rng Axi.ratios_all in
+  let depth = Rng.choose rng Axi.depths_all in
+  { g_bus = bus; g_funcs = funcs; g_packing = packing; g_burst = burst;
+    g_ratio = ratio; g_depth = depth }
 
 let with_bus g bus = { g with g_bus = bus }
 
@@ -181,8 +192,15 @@ let shrink g =
   in
   let no_packing = if g.g_packing then [ { g with g_packing = false } ] else [] in
   let no_burst = if g.g_burst then [ { g with g_burst = false } ] else [] in
+  (* CDC dimensions shrink toward the trivial crossing: ratio 1:1 and the
+     minimum FIFO, with a halving step so depth 16 descends in two moves *)
+  let simpler_ratio = if g.g_ratio <> (1, 1) then [ { g with g_ratio = (1, 1) } ] else [] in
+  let shallower =
+    (if g.g_depth > 2 then [ { g with g_depth = 2 } ] else [])
+    @ if g.g_depth > 4 then [ { g with g_depth = g.g_depth / 2 } ] else []
+  in
   dropped_funcs @ dropped_params @ fewer_instances @ simpler_params
-  @ no_packing @ no_burst
+  @ no_packing @ no_burst @ simpler_ratio @ shallower
 
 (* -------- static shape features (coverage-guided scheduling) -------- *)
 

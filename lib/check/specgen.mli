@@ -39,6 +39,11 @@ type gspec = {
   g_packing : bool;
   g_burst : bool;
       (** %burst_support — rendered only on buses whose caps support it *)
+  g_ratio : int * int;
+      (** ACLK:PCLK clock ratio for CDC buses (axi) — a simulation
+          parameter, not declaration syntax: {!render} ignores it, the
+          executor pins it through {!Splice_buses.Axi.set_cdc} *)
+  g_depth : int;  (** CDC command/response FIFO depth (power of two) *)
 }
 
 val spec : ?buses:string list -> Rng.t -> gspec

@@ -31,6 +31,7 @@ module Component = Splice_sim.Component
 module Kernel = Splice_sim.Kernel
 module Vcd = Splice_sim.Vcd
 module Wave = Splice_sim.Wave
+module Async_fifo = Splice_sim.Async_fifo
 
 (* specification front-end (Ch 3) *)
 module Token = Splice_syntax.Token
@@ -64,6 +65,7 @@ module Apb = Splice_buses.Apb
 module Ahb = Splice_buses.Ahb
 module Wishbone = Splice_buses.Wishbone
 module Avalon = Splice_buses.Avalon
+module Axi = Splice_buses.Axi
 
 (* drivers + CPU model (Ch 6) *)
 module Op = Splice_driver.Op

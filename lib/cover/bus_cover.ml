@@ -95,6 +95,41 @@ let pseudo_async_of = function
   | Some (c : Bus_caps.t) -> c.pseudo_async
   | None -> true
 
+(* ---- AXI channel handshake / CDC configuration points -------------
+   The AXI4-Lite bus is the one registered bus with native channels on a
+   second clock domain; its cycle-level sampler lives in the bus model
+   itself (the adapter-engine ambient-map idiom), but the bins are
+   declared here so the group exists in pre-declared aggregate maps. *)
+
+let axi_handshake_bins =
+  [ ("aw", 0); ("w", 1); ("ar", 2); ("r", 3); ("b", 4);
+    (* a VALID seen without READY: the slave is withholding acceptance,
+       on AW/AR that is the command FIFO's full backpressure surfacing *)
+    ("aw_stall", 5); ("ar_stall", 6);
+    (* command FIFOs observed full from the write side *)
+    ("bp_w", 7); ("bp_r", 8) ]
+
+let fire_code = function
+  | `Aw -> 0 | `W -> 1 | `Ar -> 2 | `R -> 3 | `B -> 4
+  | `Aw_stall -> 5 | `Ar_stall -> 6 | `Bp_w -> 7 | `Bp_r -> 8
+
+(* the fuzzer's clock-ratio universe, encoded [100*fast + slow] *)
+let ratio_code (a, b) = (100 * a) + b
+
+let axi_ratio_bins =
+  List.map
+    (fun ((a, b) as r) -> (Printf.sprintf "%d:%d" a b, ratio_code r))
+    [ (1, 1); (2, 1); (3, 1); (3, 2); (5, 2) ]
+
+let axi_depth_bins =
+  [ ("2", 2, 2); ("4", 4, 4); ("8", 8, 8); ("16", 16, 16); ("32-64", 32, 64) ]
+
+let declare_axi g =
+  ignore (Cover.point g "handshake" (Cover.Values axi_handshake_bins));
+  let ratio = Cover.point g "cdc_ratio" (Cover.Values axi_ratio_bins) in
+  let depth = Cover.point g "cdc_depth" (Cover.Ranges axi_depth_bins) in
+  ignore (Cover.cross g "ratio_x_depth" ratio depth)
+
 let declare c ~bus ~caps =
   let g = Cover.group c (group_name bus) in
   let pa = pseudo_async_of caps in
@@ -107,7 +142,8 @@ let declare c ~bus ~caps =
   if pa then ignore (Cover.point g "wait_w" (Cover.Ranges wait_ranges));
   let burst = Cover.point g "burst" (Cover.Ranges (burst_ranges caps)) in
   let dir = Cover.point g "dir" (Cover.Values (dir_bins caps)) in
-  ignore (Cover.cross g "dir_x_burst" dir burst)
+  ignore (Cover.cross g "dir_x_burst" dir burst);
+  if bus = "axi" then declare_axi g
 
 (* ---- cycle-level sampling ---------------------------------------- *)
 
@@ -136,7 +172,17 @@ let attach c ~bus ~caps kernel (sis : Sis_if.t) =
     { in_write = false; in_read = false; prev = ph_idle; seen_prev = false;
       last_fid = 0; seen_grant = false; wcnt = 0; rcnt = 0 }
   in
-  Kernel.on_settle kernel (fun _cycle ->
+  (* a bus whose peripheral side lives in a named slow domain (the AXI
+     bridge's "<bus>.pclk") only drives the SIS lines on that domain's
+     edges; sampling the ticks in between would count each phase once per
+     tick instead of once per bus cycle and flood phase_seq with
+     self-transitions *)
+  let dom =
+    match Kernel.find_domain kernel (bus ^ ".pclk") with
+    | Some d -> d
+    | None -> Kernel.base_domain kernel
+  in
+  Kernel.on_settle_in kernel dom (fun _cycle ->
       let rst = Signal.get_bool sis.Sis_if.rst in
       let io_en = Signal.get_bool sis.Sis_if.io_enable in
       let div = Signal.get_bool sis.Sis_if.data_in_valid in
@@ -263,3 +309,35 @@ let sample_txn t ~func_id ~dir ~words =
   Cover.sample t.tx_burst words;
   Cover.sample2 t.tx_cross d words;
   if func_id = 0 then Cover.sample t.tx_grant 0
+
+(* ---- AXI native-side sampling (resolved like [txn], sampled by the
+   bus model's aclk-domain hook) ------------------------------------- *)
+
+type axi = {
+  ax_handshake : Cover.point;
+  ax_ratio : Cover.point;
+  ax_depth : Cover.point;
+  ax_cross : Cover.point;
+}
+
+let find_axi c =
+  match Cover.find_group c (group_name "axi") with
+  | None -> None
+  | Some g -> (
+      match
+        ( Cover.find_point g "handshake", Cover.find_point g "cdc_ratio",
+          Cover.find_point g "cdc_depth", Cover.find_point g "ratio_x_depth" )
+      with
+      | Some h, Some r, Some d, Some x ->
+          Some { ax_handshake = h; ax_ratio = r; ax_depth = d; ax_cross = x }
+      | _ -> None)
+
+let sample_axi_fire t ev = Cover.sample t.ax_handshake (fire_code ev)
+
+(* sampled once per connected bridge: which cell of the ratio x depth
+   design grid this simulation exercised *)
+let sample_axi_cdc t ~ratio ~depth =
+  let rc = ratio_code ratio in
+  Cover.sample t.ax_ratio rc;
+  Cover.sample t.ax_depth depth;
+  Cover.sample2 t.ax_cross rc depth

@@ -58,3 +58,25 @@ val sample_txn :
 (** [func_id = 0] additionally hits the grant point's "status" bin:
     status polls never assert IO_ENABLE, so that bin is unreachable from
     the cycle-level sampler. *)
+
+(** {1 AXI native-side points}
+
+    The AXI4-Lite bridge is the one builtin whose native channels live in
+    their own clock domain; {!declare} gives its group three extra
+    points — [handshake] (per-channel VALID/READY fires, stalls and
+    command-FIFO backpressure), [cdc_ratio] / [cdc_depth] (which cell of
+    the clock-ratio x FIFO-depth design grid the run exercised) and their
+    [ratio_x_depth] cross. The bus model samples them through the ambient
+    map with the same resolve-once discipline as {!txn}. *)
+
+type axi
+
+val find_axi : Cover.t -> axi option
+(** [None] until {!declare} has run for ["axi"]. *)
+
+val sample_axi_fire :
+  axi ->
+  [ `Aw | `W | `Ar | `R | `B | `Aw_stall | `Ar_stall | `Bp_w | `Bp_r ] ->
+  unit
+
+val sample_axi_cdc : axi -> ratio:int * int -> depth:int -> unit

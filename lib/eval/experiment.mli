@@ -182,3 +182,33 @@ module Coverage : sig
 
   val table : point list -> string
 end
+
+(** E18 — clock-domain-crossing ratio sweep: the same 8-word AXI4-Lite
+    workload crossing the Gray-coded FIFO bridge at every (ACLK:PCLK ratio,
+    FIFO depth) cell of the design grid, under all three schedulers. Cycle
+    cost grows with the ratio's slow-side period (each crossing pays two
+    destination-domain edges of synchroniser latency, and the strictly
+    synchronous PCLK engine serializes the words); depth only moves the
+    backpressure point, so rows differing only in depth should match —
+    and every scheduler must agree on every cell, the multi-clock
+    extension of the E14 invariant. *)
+module Cdc_sweep : sig
+  type point = {
+    ratio : int * int;  (** ACLK:PCLK frequency ratio (reduced) *)
+    depth : int;  (** command/response FIFO depth *)
+    cycles : int;  (** base-grid cycles for the fixed call (event sched) *)
+    aclk_edges : int;
+    pclk_edges : int;
+    agree : bool;  (** all three schedulers returned this cycle count *)
+  }
+
+  val run :
+    ?pool:Splice_par.Pool.t ->
+    ?ratios:(int * int) list ->
+    ?depths:int list ->
+    unit ->
+    point list
+
+  val all_agree : point list -> bool
+  val table : point list -> string
+end

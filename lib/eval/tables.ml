@@ -123,6 +123,9 @@ let everything ?pool () =
   Buffer.add_string buf (Experiment.Scaling.table (Experiment.Scaling.run ()));
   section "Coverage-guided fuzzing (E17)";
   Buffer.add_string buf (Experiment.Coverage.table (Experiment.Coverage.run ()));
+  section "CDC ratio sweep (E18)";
+  Buffer.add_string buf
+    (Experiment.Cdc_sweep.table (Experiment.Cdc_sweep.run ?pool ()));
   section "Burst ablation (E9)";
   Buffer.add_string buf (Experiment.Burst.table (Experiment.Burst.run ()));
   section "Interrupt ablation (E11)";

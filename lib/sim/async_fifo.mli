@@ -1,0 +1,74 @@
+(** Dual-clock (asynchronous) FIFO with Gray-coded pointers and 2FF
+    synchronizers — the standard CDC crossing structure, modelled on the
+    multi-domain kernel.
+
+    The write side lives in one {!Kernel.domain}, the read side in another.
+    Each side keeps a binary pointer and its Gray-coded shadow; the opposite
+    side's Gray pointer crosses the domain boundary through a two-stage
+    register synchronizer clocked by the destination domain. Because
+    successive Gray codes differ in exactly one bit, a synchronizer that
+    samples mid-transition still lands on one of the two adjacent codes, so
+    the synchronized pointer is only ever {e stale}, never wild — which makes
+    the derived [full]/[empty] flags conservative: [full] may assert while
+    slots remain (write side sees an old read pointer) and [empty] may assert
+    while words remain (read side sees an old write pointer), but a write is
+    never accepted into a full FIFO and a read never pops an empty one.
+
+    Handshake (both sides sample pre-edge values, as everywhere in the
+    kernel):
+    - push: drive [wr_data] and assert [wr_en]; the word is accepted at the
+      next write-domain edge where [wr_en] is high and [full] is low. The
+      pusher observes the same pre-edge [full], so it knows whether that edge
+      accepted.
+    - pop: [rd_data] shows the head word whenever [empty] is low
+      (show-ahead); assert [rd_en] to consume it at the next read-domain
+      edge. After a consuming edge the head advances; [rd_en] must be a
+      one-edge pulse (the FIFO ignores it while [empty]).
+
+    The model additionally carries exact-occupancy assertions (possible in
+    simulation, not in hardware): accepting a push while truly full or a pop
+    while truly empty raises [Failure] — the property suite leans on this to
+    show the flags are conservative under random push/pop schedules. *)
+
+type t
+
+val gray_encode : int -> int
+(** Binary → reflected Gray code. *)
+
+val gray_decode : int -> int
+(** Inverse of {!gray_encode}. *)
+
+val create :
+  ?name:string ->
+  Kernel.t ->
+  wr_dom:Kernel.domain ->
+  rd_dom:Kernel.domain ->
+  depth:int ->
+  width:int ->
+  t
+(** [create k ~wr_dom ~rd_dom ~depth ~width] registers the write-side and
+    read-side processes with [k] in their respective domains. [depth] must
+    be a power of two, [2 <= depth <= 1 lsl 16]; [width] is the word width
+    in bits. Raises [Invalid_argument] otherwise. *)
+
+val depth : t -> int
+
+(** {1 Write-side signals (write domain)} *)
+
+val wr_en : t -> Signal.t
+val wr_data : t -> Signal.t
+val full : t -> Signal.t
+
+(** {1 Read-side signals (read domain)} *)
+
+val rd_en : t -> Signal.t
+
+val rd_data : t -> Signal.t
+(** Head word while [empty] is low; zero otherwise. *)
+
+val empty : t -> Signal.t
+
+val level : t -> int
+(** Exact occupancy from the two binary pointers — an omniscient-model
+    probe (no hardware equivalent); tests use it to bound flag
+    conservatism. *)

@@ -2,6 +2,18 @@ open Splice_obs
 
 type sched = [ `Event | `Sweep | `Compiled ]
 
+type domain = {
+  d_name : string;
+  d_period : int; (* ticks between edges, >= 1 *)
+  d_phase : int; (* tick offset of the first edge, < period *)
+  mutable d_cycles : int; (* edges fired so far *)
+}
+
+(* a domain's edge falls on tick [n] iff [n mod period = phase]; the base
+   domain (period 1, phase 0) fires on every tick, so single-clock designs
+   behave exactly as before *)
+let dom_fires d tick = tick mod d.d_period = d.d_phase
+
 type t = {
   max_comb_iters : int;
   sched : sched;
@@ -12,10 +24,13 @@ type t = {
          re-registers there and this kernel's listeners turn into no-ops
          instead of corrupting a dead kernel's dirty count *)
   obs : Obs.t;
-  mutable components : Component.t list; (* reversed *)
-  mutable checks : (string * (int -> unit)) list; (* reversed *)
+  base : domain;
+  mutable domains : domain list; (* reversed; always contains [base] *)
+  mutable multi : bool; (* more than one domain registered *)
+  mutable components : (Component.t * domain) list; (* reversed *)
+  mutable checks : (string * (int -> unit) * domain) list; (* reversed *)
   mutable hooks : (int -> unit) list; (* reversed *)
-  mutable settle_hooks : (int -> unit) list; (* reversed *)
+  mutable settle_hooks : ((int -> unit) * domain) list; (* reversed *)
   mutable cycle_count : int;
   mutable comb_iters_total : int;
   mutable comb_evals_total : int;
@@ -24,9 +39,12 @@ type t = {
      changes (sealing); cycle/settle never traverse the reversed lists *)
   mutable sealed : bool;
   mutable comps_fwd : Component.t array;
+  mutable comp_doms : domain array; (* parallel to [comps_fwd] *)
   mutable checks_fwd : (string * (int -> unit)) array;
+  mutable check_doms : domain array; (* parallel to [checks_fwd] *)
   mutable hooks_fwd : (int -> unit) array;
   mutable settle_hooks_fwd : (int -> unit) array;
+  mutable settle_doms : domain array; (* parallel to [settle_hooks_fwd] *)
   mutable edge_comps : Component.t array;
       (* state-sensitive components, re-marked dirty at every settle *)
   mutable has_always : bool;
@@ -78,7 +96,11 @@ let create ?(max_comb_iters = 64) ?(sched = `Event) ?obs () =
   let obs = match obs with Some o -> o | None -> Obs.create () in
   let m = Obs.metrics obs in
   let rec_ = Obs.recorder obs in
+  let base = { d_name = "base"; d_period = 1; d_phase = 0; d_cycles = 0 } in
   {
+    base;
+    domains = [ base ];
+    multi = false;
     rec_;
     rec_fn = (match rec_ with Some r -> Some (fun c -> record_eval r c) | None -> None);
     gen = 1 + Atomic.fetch_and_add gen_counter 1;
@@ -98,9 +120,12 @@ let create ?(max_comb_iters = 64) ?(sched = `Event) ?obs () =
     checks_run_total = 0;
     sealed = false;
     comps_fwd = [||];
+    comp_doms = [||];
     checks_fwd = [||];
+    check_doms = [||];
     hooks_fwd = [||];
     settle_hooks_fwd = [||];
+    settle_doms = [||];
     edge_comps = [||];
     has_always = false;
     n_dirty = 0;
@@ -113,13 +138,42 @@ let create ?(max_comb_iters = 64) ?(sched = `Event) ?obs () =
     evals_counter = Metrics.counter m "sim/comb_evals";
   }
 
-let add t c =
-  t.components <- c :: t.components;
+let base_domain t = t.base
+let domain_name d = d.d_name
+let domain_period d = d.d_period
+let domain_phase d = d.d_phase
+let domain_cycles d = d.d_cycles
+
+let find_domain t name =
+  List.find_opt (fun d -> String.equal d.d_name name) t.domains
+
+let add_domain t ~name ?(phase = 0) ~period () =
+  if period < 1 then invalid_arg "Kernel.add_domain: period must be >= 1";
+  if phase < 0 || phase >= period then
+    invalid_arg "Kernel.add_domain: phase must be in [0, period)";
+  if find_domain t name <> None then
+    invalid_arg ("Kernel.add_domain: duplicate domain name " ^ name);
+  let d = { d_name = name; d_period = period; d_phase = phase; d_cycles = 0 } in
+  t.domains <- d :: t.domains;
+  t.multi <- true;
+  t.sealed <- false;
+  d
+
+(* valid while the current tick is in flight (settle, checks, settle hooks,
+   seq) — [cycle_count] has not been incremented yet *)
+let fires t d = dom_fires d t.cycle_count
+
+let add_in t d c =
+  t.components <- (c, d) :: t.components;
   t.sealed <- false
 
-let add_check t name f =
-  t.checks <- (name, f) :: t.checks;
+let add t c = add_in t t.base c
+
+let add_check_in t d name f =
+  t.checks <- (name, f, d) :: t.checks;
   t.sealed <- false
+
+let add_check t name f = add_check_in t t.base name f
 
 let check_fail ~cycle ~check message = raise (Check_failed { cycle; check; message })
 
@@ -127,8 +181,16 @@ let on_cycle_end t f =
   t.hooks <- f :: t.hooks;
   t.sealed <- false
 
-let on_settle t f =
-  t.settle_hooks <- f :: t.settle_hooks;
+let on_settle_in t d f =
+  t.settle_hooks <- (f, d) :: t.settle_hooks;
+  t.sealed <- false
+
+let on_settle t f = on_settle_in t t.base f
+
+let rehome_all t d =
+  t.components <- List.map (fun (c, _) -> (c, d)) t.components;
+  t.checks <- List.map (fun (name, f, _) -> (name, f, d)) t.checks;
+  t.settle_hooks <- List.map (fun (f, _) -> (f, d)) t.settle_hooks;
   t.sealed <- false
 
 let mark_dirty t (c : Component.t) =
@@ -138,14 +200,20 @@ let mark_dirty t (c : Component.t) =
   end
 
 let seal t =
-  t.comps_fwd <- Array.of_list (List.rev t.components);
-  t.checks_fwd <- Array.of_list (List.rev t.checks);
+  let comps = Array.of_list (List.rev t.components) in
+  t.comps_fwd <- Array.map fst comps;
+  t.comp_doms <- Array.map snd comps;
+  let checks = Array.of_list (List.rev t.checks) in
+  t.checks_fwd <- Array.map (fun (name, f, _) -> (name, f)) checks;
+  t.check_doms <- Array.map (fun (_, _, d) -> d) checks;
   (match t.rec_ with
   | Some r ->
       t.check_ids <- Array.map (fun (name, _) -> Recorder.intern r name) t.checks_fwd
   | None -> t.check_ids <- [||]);
   t.hooks_fwd <- Array.of_list (List.rev t.hooks);
-  t.settle_hooks_fwd <- Array.of_list (List.rev t.settle_hooks);
+  let settles = Array.of_list (List.rev t.settle_hooks) in
+  t.settle_hooks_fwd <- Array.map fst settles;
+  t.settle_doms <- Array.map snd settles;
   t.has_always <- false;
   let edge = ref [] in
   Array.iter
@@ -296,8 +364,26 @@ let cycle t =
      of whichever instrumented kernel ran before it in this domain *)
   Signal.attach_recorder t.rec_;
   settle t;
+  let tick = t.cycle_count in
+  (* [multi] gates every per-item domain test off the single-clock hot
+     path; with one domain the loops below are exactly the legacy ones.
+     Domain gating is scheduler-independent (only the settle strategy
+     differs between schedulers), so multi-clock interleaving is
+     deterministic and identical under Event/Sweep/Compiled. *)
+  let checks_ran = ref 0 in
   (match t.rec_ with
-  | None -> Array.iter (fun (_, f) -> f t.cycle_count) t.checks_fwd
+  | None ->
+      if not t.multi then begin
+        Array.iter (fun (_, f) -> f tick) t.checks_fwd;
+        checks_ran := Array.length t.checks_fwd
+      end
+      else
+        for i = 0 to Array.length t.checks_fwd - 1 do
+          if dom_fires (Array.unsafe_get t.check_doms i) tick then begin
+            (snd (Array.unsafe_get t.checks_fwd i)) tick;
+            incr checks_ran
+          end
+        done
   | Some r -> (
       (* the last events a failing run records are its own check
          evaluation and the failure itself — the dump ends at the bug.
@@ -305,20 +391,42 @@ let cycle t =
          the exception), so the per-check cost is one recorded event. *)
       try
         for i = 0 to Array.length t.checks_fwd - 1 do
-          Recorder.check_eval r ~subject:(Array.unsafe_get t.check_ids i);
-          (snd (Array.unsafe_get t.checks_fwd i)) t.cycle_count
+          if (not t.multi) || dom_fires (Array.unsafe_get t.check_doms i) tick
+          then begin
+            Recorder.check_eval r ~subject:(Array.unsafe_get t.check_ids i);
+            (snd (Array.unsafe_get t.checks_fwd i)) tick;
+            incr checks_ran
+          end
         done
       with Check_failed { check; message; _ } as e ->
         Recorder.check_fail r ~subject:(Recorder.intern r check) ~message;
         raise e));
-  (match Array.length t.checks_fwd with
+  (match !checks_ran with
   | 0 -> ()
   | n ->
       t.checks_run_total <- t.checks_run_total + n;
       if Obs.active t.obs then Metrics.add t.checks_counter n);
-  Array.iter (fun f -> f t.cycle_count) t.settle_hooks_fwd;
-  Array.iter (fun (c : Component.t) -> c.Component.seq ()) t.comps_fwd;
+  if not t.multi then
+    Array.iter (fun f -> f tick) t.settle_hooks_fwd
+  else
+    for i = 0 to Array.length t.settle_hooks_fwd - 1 do
+      if dom_fires (Array.unsafe_get t.settle_doms i) tick then
+        (Array.unsafe_get t.settle_hooks_fwd i) tick
+    done;
+  if not t.multi then
+    Array.iter (fun (c : Component.t) -> c.Component.seq ()) t.comps_fwd
+  else
+    (* only components whose domain has an edge on this tick clock their
+       state; everyone reads settled pre-edge values, so evaluation order
+       between coincident domains cannot matter *)
+    for i = 0 to Array.length t.comps_fwd - 1 do
+      if dom_fires (Array.unsafe_get t.comp_doms i) tick then
+        (Array.unsafe_get t.comps_fwd i).Component.seq ()
+    done;
   Signal.commit_pending ();
+  List.iter
+    (fun d -> if dom_fires d tick then d.d_cycles <- d.d_cycles + 1)
+    t.domains;
   t.cycle_count <- t.cycle_count + 1;
   if Obs.active t.obs then Metrics.incr t.cycles_counter;
   Array.iter (fun f -> f t.cycle_count) t.hooks_fwd
@@ -348,9 +456,10 @@ let run_until ?(max = 100_000) ?(what = "condition") t p =
   go ()
 
 let cycles t = t.cycle_count
+let id t = t.gen
 let obs t = t.obs
 let sched t = t.sched
-let check_names t = List.rev_map fst t.checks
+let check_names t = List.rev_map (fun (name, _, _) -> name) t.checks
 
 let stats t =
   {

@@ -58,6 +58,22 @@
 
 type t
 
+type domain
+(** A clock domain: a named edge schedule on the kernel's tick grid. A
+    kernel tick is one step of the fastest common grid; a domain with
+    period [p] and phase [ph] has a clock edge on every tick [n] with
+    [n mod p = ph]. Rational frequency ratios are expressed as coprime
+    periods — e.g. a 3:1 fast:slow pair is periods 1 and 3, a 5:2 pair is
+    periods 2 and 5. Every kernel starts with a {e base} domain of period
+    1, so single-clock designs are untouched. Components, checks and
+    settle hooks are tagged with a domain at registration: a component's
+    [seq] runs (and its deferred writes clock) only on its domain's
+    edges, while combinational settling remains global — exactly the RTL
+    picture of shared combinational nets between independently clocked
+    registers. Interleaving on coincident edges is registration order,
+    which is scheduler-independent, so multi-clock designs stay
+    deterministic and identical under all three schedulers. *)
+
 type sched = [ `Event | `Sweep | `Compiled ]
 (** [`Event]: dirty-set scheduling driven by sensitivity lists (default).
     [`Sweep]: legacy re-evaluate-everything fixpoint loop.
@@ -92,12 +108,53 @@ val create :
     out of instrumentation). *)
 
 val add : t -> Component.t -> unit
-(** Evaluation order is registration order (within each delta pass). *)
+(** Evaluation order is registration order (within each delta pass).
+    Registers into the base domain. *)
+
+val base_domain : t -> domain
+(** The period-1 domain every kernel is born with. *)
+
+val add_domain : t -> name:string -> ?phase:int -> period:int -> unit -> domain
+(** Register a new clock domain. [period >= 1] is the tick count between
+    edges; [phase] (default 0, must be [< period]) offsets the first edge.
+    Raises [Invalid_argument] on a duplicate name, so {!find_domain} is
+    unambiguous. *)
+
+val find_domain : t -> string -> domain option
+val domain_name : domain -> string
+val domain_period : domain -> int
+val domain_phase : domain -> int
+
+val domain_cycles : domain -> int
+(** Edges fired so far — the domain-local cycle counter. For the base
+    domain this equals {!cycles}. *)
+
+val fires : t -> domain -> bool
+(** Whether the domain has an edge on the tick currently in flight. Valid
+    inside checks and settle hooks (before the kernel increments its tick
+    counter); checks and hooks registered with the [_in] variants are
+    already gated, so this is mostly for ad-hoc probes and tests. *)
+
+val add_in : t -> domain -> Component.t -> unit
+(** Like {!add} but the component's [seq] clocks only on [domain] edges.
+    Its [comb] still participates in every settle. *)
+
+val rehome_all : t -> domain -> unit
+(** Retag {e everything registered so far} — components, checks, settle
+    hooks — into [domain]. Bus adapters that put the peripheral in a slow
+    clock domain use this: the peripheral, its protocol monitors and its
+    tracer hooks are registered before the bus connects, and all of them
+    belong on the peripheral-side clock. *)
 
 val add_check : t -> string -> (int -> unit) -> unit
 (** [add_check k name f]: [f cycle] runs after the comb fixpoint each cycle;
     it should raise {!Check_failed} (via {!check_fail}) on protocol
     violations. *)
+
+val add_check_in : t -> domain -> string -> (int -> unit) -> unit
+(** Like {!add_check}, but [f] runs only on ticks where [domain] fires —
+    protocol monitors for a slow-side bus must not sample between that
+    side's edges. *)
 
 val check_fail : cycle:int -> check:string -> string -> 'a
 (** Raise a {!Check_failed}. *)
@@ -112,6 +169,9 @@ val on_settle : t -> (int -> unit) -> unit
     before the clock edge — every signal shows its settled value for the
     current cycle. This is the view waveforms should record. *)
 
+val on_settle_in : t -> domain -> (int -> unit) -> unit
+(** Domain-gated {!on_settle}: fires only on ticks with a [domain] edge. *)
+
 val cycle : t -> unit
 val run : t -> int -> unit
 (** [run k n] executes [n] cycles. *)
@@ -122,7 +182,12 @@ val run_until : ?max:int -> ?what:string -> t -> (unit -> bool) -> int
     [max] (default 100_000) cycles. *)
 
 val cycles : t -> int
-(** Total cycles simulated so far. *)
+(** Total ticks simulated so far (base-domain cycles). *)
+
+val id : t -> int
+(** Process-unique kernel id (never 0, never reused). Side registries that
+    associate extra structure with a kernel — e.g. a bus model publishing
+    its native channel signals for monitors — key on this. *)
 
 val obs : t -> Splice_obs.Obs.t
 (** The kernel's observability context. Components read span timestamps
