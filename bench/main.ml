@@ -287,6 +287,75 @@ let sched_speedup ~reps ~batch =
   done;
   (best.(0), best.(1), best.(2))
 
+(* Design-cache replay (E19, microscopic side), measured paired like
+   [recorder_overhead]: full elaboration of the Fig 9.2 Splice PLB host vs
+   a cache-hit replay of the same design (instance reset back to the
+   end-of-elaboration snapshot). The fuzz-grid speedup in the E19 table is
+   the macroscopic consequence of this per-acquisition gap. *)
+let cache_replay ~reps ~batch =
+  let key = Splice.Cycles.interp_key Splice.Interpolator.Splice_plb_simple in
+  let build () =
+    Splice.Interpolator.make_host Splice.Interpolator.Splice_plb_simple
+  in
+  let cache = Splice.Design_cache.create ~capacity:4 in
+  ignore (Splice.Design_cache.acquire cache ~key ~sched:`Event ~build);
+  let time f n =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to n do
+      f ()
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int n *. 1e9
+  in
+  let one = function
+    | 0 -> time (fun () -> ignore (build ())) batch
+    | _ ->
+        time
+          (fun () ->
+            ignore
+              (Splice.Design_cache.acquire cache ~key ~sched:`Event ~build))
+          batch
+  in
+  let best = [| infinity; infinity |] in
+  for r = 0 to reps - 1 do
+    for k = 0 to 1 do
+      let i = (r + k) mod 2 in
+      let t = one i in
+      if t < best.(i) then best.(i) <- t
+    done
+  done;
+  (best.(0), best.(1))
+
+(* Build-phase accounting (satellite of E19): where the wall time to the
+   first runnable cycle goes on a fresh build — the costs a replay skips
+   (elaborate) or defers to the next seal (seal, compile). *)
+let build_phases () =
+  let host =
+    Splice.Interpolator.make_host ~sched:`Compiled
+      Splice.Interpolator.Splice_plb_simple
+  in
+  ignore (Splice.Interpolator.run host (Splice.Interp_scenarios.by_id 1));
+  let s = Splice.Kernel.stats (Splice.Host.kernel host) in
+  ( s.Splice.Kernel.elaborate_ns,
+    s.Splice.Kernel.seal_ns,
+    s.Splice.Kernel.compile_ns )
+
+let print_cache (build_ns, replay_ns) (ela, seal, comp) =
+  let us ns = Int64.to_float ns /. 1e3 in
+  Printf.printf
+    "\n== Design-cache replay, paired minima (E19) ==\n\n\
+     %-44s %11.3f us\n\
+     %-44s %11.3f us\n\
+     %-44s %10.2f x\n\
+     build phases of one fresh compiled host:\n\
+     %-44s %11.3f us\n\
+     %-44s %11.3f us\n\
+     %-44s %11.3f us\n"
+    "host elaboration (Fig 9.2 Splice PLB)" (build_ns /. 1e3)
+    "cache-hit replay (instance reset)" (replay_ns /. 1e3)
+    "replay vs elaborate"
+    (build_ns /. Float.max replay_ns 1e-9)
+    "  elaborate" (us ela) "  seal" (us seal) "  compile" (us comp)
+
 let print_speedup (sweep, event, compiled) =
   Printf.printf
     "\n== Settle-loop speedup, paired minima (%d-deep comb chain) ==\n\n\
@@ -347,9 +416,11 @@ let run_bechamel ~quota =
     benchmarks;
   List.rev !rows
 
-let write_json path ~quick ~jobs ~overhead ~speedup rows =
+let write_json path ~quick ~jobs ~overhead ~speedup ~cache ~phases rows =
   let off, metrics, full = overhead in
   let sweep_ns, event_ns, compiled_ns = speedup in
+  let build_ns, replay_ns = cache in
+  let ela_ns, seal_ns, comp_ns = phases in
   let pct a b = (a -. b) /. b *. 100. in
   Splice.Export.write_file path
     (Splice.Json.to_string
@@ -387,6 +458,24 @@ let write_json path ~quick ~jobs ~overhead ~speedup rows =
                   ("compiled_ns_per_cycle", Float compiled_ns);
                   ("compiled_vs_event", Float (event_ns /. compiled_ns));
                   ("compiled_vs_sweep", Float (sweep_ns /. compiled_ns));
+                ] );
+            ( "design_cache",
+              (* paired minima: fresh elaboration vs cache-hit replay of
+                 the same design (see [cache_replay]) *)
+              Obj
+                [
+                  ("build_ns", Float build_ns);
+                  ("replay_ns", Float replay_ns);
+                  ( "replay_speedup",
+                    Float (build_ns /. Float.max replay_ns 1e-9) );
+                ] );
+            ( "build_phases",
+              (* one fresh compiled host, one sealed call ([build_phases]) *)
+              Obj
+                [
+                  ("elaborate_ns", Float (Int64.to_float ela_ns));
+                  ("seal_ns", Float (Int64.to_float seal_ns));
+                  ("compile_ns", Float (Int64.to_float comp_ns));
                 ] );
           ]));
   Printf.printf "wrote kernel benchmark summary to %s\n" path
@@ -429,8 +518,15 @@ let () =
       else sched_speedup ~reps:24 ~batch:1000
     in
     print_speedup speedup;
+    let cache =
+      if quick then cache_replay ~reps:4 ~batch:20
+      else cache_replay ~reps:12 ~batch:100
+    in
+    let phases = build_phases () in
+    print_cache cache phases;
     Option.iter
-      (fun path -> write_json path ~quick ~jobs ~overhead ~speedup rows)
+      (fun path ->
+        write_json path ~quick ~jobs ~overhead ~speedup ~cache ~phases rows)
       json
   end;
   if not quick then begin

@@ -434,8 +434,28 @@ let fuzz_cmd =
              $(docv) (a power of two in 2..64) instead of letting every \
              iteration draw one.")
   in
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:
+            "Disable the per-domain design cache and re-elaborate every \
+             (spec, bus, scheduler) cell from scratch. Every report field \
+             except the hit/miss counters is byte-identical either way — \
+             this flag exists for timing comparisons and for CI's \
+             determinism cross-check.")
+  in
+  let cache_size =
+    Arg.(
+      value
+      & opt int Splice.Design_cache.default_size
+      & info [ "cache-size" ] ~docv:"N"
+          ~doc:
+            "Per-domain design-cache capacity in elaborated designs (LRU \
+             eviction).")
+  in
   let run seed count bus sched quiet jobs json record cover no_guide
-      clock_ratio fifo_depth =
+      clock_ratio fifo_depth no_cache cache_size =
     let seed =
       match seed with
       | Some s -> s
@@ -468,8 +488,15 @@ let fuzz_cmd =
         guide = cover <> None && not no_guide;
         ratio = clock_ratio;
         depth = fifo_depth;
+        cache = not no_cache;
+        cache_size;
       }
     in
+    (match cache_size with
+    | n when n < 1 ->
+        Printf.eprintf "bad --cache-size %d (want >= 1)\n" n;
+        exit 2
+    | _ -> ());
     (match fifo_depth with
     | Some d when d < 2 || d > 64 || d land (d - 1) <> 0 ->
         Printf.eprintf "bad --fifo-depth %d (want a power of two in 2..64)\n" d;
@@ -532,6 +559,14 @@ let fuzz_cmd =
                     String (Printf.sprintf "0x%016Lx" report.Splice.Diff.r_digest)
                   );
                   ("ok", Bool ok);
+                  ( "cache",
+                    Obj
+                      [
+                        ("enabled", Bool config.Splice.Diff.cache);
+                        ("size", Int config.Splice.Diff.cache_size);
+                        ("hits", Int report.Splice.Diff.r_cache_hits);
+                        ("misses", Int report.Splice.Diff.r_cache_misses);
+                      ] );
                 ]
                 @
                  match cover_summary with
@@ -577,6 +612,12 @@ let fuzz_cmd =
           "wrote coverage map to %s (inspect with `splice cover %s`)\n" path
           path
     | _ -> ());
+    (if config.Splice.Diff.cache then
+       let h = report.Splice.Diff.r_cache_hits
+       and m = report.Splice.Diff.r_cache_misses in
+       Printf.printf "design cache: %d hits, %d misses (%.0f%% hit rate)\n" h m
+         (if h + m = 0 then 0.0
+          else 100.0 *. float_of_int h /. float_of_int (h + m)));
     match report.Splice.Diff.r_failure with
     | None ->
         Printf.printf
@@ -614,7 +655,7 @@ let fuzz_cmd =
           on failure.")
     Term.(
       const run $ seed $ count $ bus $ sched $ quiet $ jobs_arg $ json $ record
-      $ cover $ no_guide $ clock_ratio $ fifo_depth)
+      $ cover $ no_guide $ clock_ratio $ fifo_depth $ no_cache $ cache_size)
 
 let trace_cmd =
   (* [some string], not [some file]: a missing path must reach [Query.load]

@@ -320,7 +320,21 @@ let make ?(obs = Obs.none) cfg sis =
           (fun c -> Splice_cover.Bus_cover.find_txn c ~bus:cfg.name);
     }
   in
-  t.comp <- Component.make ~seq:(seq t) ("adapter:" ^ cfg.name);
+  t.comp <-
+    Component.make ~seq:(seq t)
+      ~reset:(fun () ->
+        t.phase <- Idle;
+        t.req <- None;
+        t.active <- None;
+        t.collected <- [];
+        t.busy_flag <- false;
+        t.reset_req <- false;
+        t.gap_w <- cfg.write_word_gap;
+        t.gap_r <- cfg.read_word_gap;
+        t.prev_calc <- None;
+        t.irq_flag <- false;
+        t.req_span <- Tracer.null_span)
+      ("adapter:" ^ cfg.name);
   t
 
 let component t = t.comp

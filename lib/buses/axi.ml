@@ -291,7 +291,16 @@ let connect kernel (spec : Spec.t) sis =
           end
   in
   Kernel.add_in kernel aclk
-    (Component.make ~seq:master_seq "axi-master");
+    (Component.make ~seq:master_seq
+       ~reset:(fun () ->
+         m.pending <- None;
+         m.busy <- false;
+         m.wq <- [];
+         m.rq <- 0;
+         m.expect_b <- 0;
+         m.expect_r <- 0;
+         m.collected <- [])
+       "axi-master");
   (* ---- AXI slave (ACLK): accepts transfers into the command FIFOs,
      pops the response FIFOs onto B/R. READY is raised only while a slot
      is known free and no push is mid-flight, so the FIFO's conservative
@@ -417,7 +426,10 @@ let connect kernel (spec : Spec.t) sis =
           bst := B_idle
         end
   in
-  Kernel.add_in kernel pclk (Component.make ~seq:bridge_seq "axi-bridge");
+  Kernel.add_in kernel pclk
+    (Component.make ~seq:bridge_seq
+       ~reset:(fun () -> bst := B_idle)
+       "axi-bridge");
   (* ---- coverage (ambient-map discipline, ACLK-edge sampling) *)
   (match Splice_cover.Cover.ambient () with
   | None -> ()
@@ -426,6 +438,11 @@ let connect kernel (spec : Spec.t) sis =
       | None -> ()
       | Some ax ->
           Splice_cover.Bus_cover.sample_axi_cdc ax ~ratio:(reduce ratio) ~depth;
+          (* a fresh build samples the configuration bin once at connect
+             time; an instance-reset replay must do the same *)
+          Kernel.at_reset kernel (fun () ->
+              Splice_cover.Bus_cover.sample_axi_cdc ax ~ratio:(reduce ratio)
+                ~depth);
           Kernel.on_settle_in kernel aclk (fun _ ->
               let fire v r = Signal.get_bool v && Signal.get_bool r in
               let sample = Splice_cover.Bus_cover.sample_axi_fire ax in

@@ -27,7 +27,7 @@ type st = {
   mutable held_data : Bits.t option;
 }
 
-let run_rules (r : rules) (sis : Sis_if.t) =
+let run_rules kernel (r : rules) (sis : Sis_if.t) =
   let st =
     {
       in_write = false;
@@ -38,6 +38,13 @@ let run_rules (r : rules) (sis : Sis_if.t) =
       held_data = None;
     }
   in
+  Kernel.at_reset kernel (fun () ->
+      st.in_write <- false;
+      st.in_read <- false;
+      st.prev_done <- false;
+      st.prev_access <- false;
+      st.held_fid <- 0;
+      st.held_data <- None);
   fun cycle ->
     let fail fmt =
       Format.kasprintf
@@ -264,6 +271,13 @@ let attach_axi_native kernel =
       let mk () = { p_valid = false; p_ready = false; p_payload = None; fired = 0 } in
       let aw = mk () and w = mk () and ar = mk () in
       let r_ = mk () and b = mk () in
+      let clear st =
+        st.p_valid <- false;
+        st.p_ready <- false;
+        st.p_payload <- None;
+        st.fired <- 0
+      in
+      Kernel.at_reset kernel (fun () -> List.iter clear [ aw; w; ar; r_; b ]);
       let check = "axi-channels" in
       Kernel.add_check_in kernel inst.Axi.aclk check (fun cycle ->
           let fail fmt =
@@ -317,8 +331,8 @@ let attach kernel ~bus sis =
   (* a CDC bus's SIS side lives in its peripheral clock domain: gate the
      protocol rules there so "previous cycle" means the previous PCLK edge *)
   (match Kernel.find_domain kernel (bus ^ ".pclk") with
-  | Some d -> Kernel.add_check_in kernel d r.check (run_rules r sis)
-  | None -> Kernel.add_check kernel r.check (run_rules r sis));
+  | Some d -> Kernel.add_check_in kernel d r.check (run_rules kernel r sis)
+  | None -> Kernel.add_check kernel r.check (run_rules kernel r sis));
   if String.equal bus "axi" then attach_axi_native kernel
 
 let attach_bus kernel (module B : Bus.S) sis =

@@ -16,6 +16,8 @@ type config = {
   guide_batch : int;
   ratio : (int * int) option;
   depth : int option;
+  cache : bool;
+  cache_size : int;
 }
 
 let default_config =
@@ -31,6 +33,8 @@ let default_config =
     guide_batch = 10;
     ratio = None;
     depth = None;
+    cache = true;
+    cache_size = Splice_cache.Design_cache.default_size;
   }
 
 type failure = {
@@ -54,6 +58,12 @@ type report = {
   r_digest : int64;
   r_cover : Splice_cover.Cover.t option;
   r_trajectory : (int * int * int) list;
+  r_cache_hits : int;
+  r_cache_misses : int;
+      (* summed per-cell deltas of the per-domain design caches. Unlike
+         everything else in the report these are scheduling-dependent
+         (a cross-cell hit needs the repeat to land on the same domain),
+         which is why they are not folded into [r_digest]. *)
 }
 
 let sched_name = function
@@ -125,108 +135,149 @@ let dump_of host msg =
   | None -> None
 
 (* Run one spec's traffic on one bus under one scheduler with every monitor
-   attached. Returns per-call cycle counts (for the E14 cross-check). *)
-let exec ~max_cycles ~iseed ~cover g bus sched =
-  match Specgen.validate (Specgen.with_bus g bus) with
-  | Error e ->
-      Error (None, Printf.sprintf "spec does not validate on %s: %s" bus e, None)
-  | Ok spec -> (
-      let tr = traffic_for iseed spec in
-      let run () =
-        (* one isolated simulation per run: restart the domain-local
-           default-name counter so any sigN in a failure message is a
-           function of this run alone, not of pool scheduling *)
-        Signal.reset_names ();
-        (* the adapter engine is created inside [Host.create]; it picks
-           its transaction coverpoints out of the ambient map, so the map
-           must be installed (and the bus's group declared) first *)
-        let caps = Registry.lookup_caps bus in
-        Option.iter
-          (fun c -> Splice_cover.Bus_cover.declare c ~bus ~caps)
-          cover;
-        let host =
-          Fun.protect
-            ~finally:(fun () ->
-              Splice_cover.Cover.set_ambient None;
-              Axi.set_cdc None)
-            (fun () ->
-              Splice_cover.Cover.set_ambient cover;
-              (* the CDC sweep dimensions ride on the gspec; connect reads
-                 them once, so clearing after Host.create is safe *)
-              Axi.set_cdc
-                (Some
-                   {
-                     Axi.ratio = g.Specgen.g_ratio;
-                     depth = g.Specgen.g_depth;
-                   });
-              Host.create ~sched spec
-                ~behaviors:
-                  (Specgen.behavior ~calc_cycles:tr.Specgen.t_calc_cycles))
-        in
+   attached. Returns per-call cycle counts (for the E14 cross-check).
+   The host comes out of the domain's design cache when one is enabled: a
+   hit rewinds an already-elaborated design ([Host.reset]) instead of
+   rebuilding it, and — because the scheduler is not part of the cache
+   key — the three schedulers of one (spec, bus) cell share a single
+   elaboration. The replay is byte-identical to a fresh build, so digests,
+   dumps and shrink traces do not depend on the hit/miss pattern. *)
+let exec ~max_cycles ~cache ~key ~cover ~caps ~spec ~tr bus sched =
+  let build () =
+    (* one isolated simulation per build: restart the domain-local
+       default-name counter so any sigN in a failure message is a
+       function of this cell alone, not of pool scheduling *)
+    Signal.reset_names ();
+    (* the adapter engine is created inside [Host.create]; it picks
+       its transaction coverpoints out of the ambient map, so the map
+       must be installed (and the bus's group declared) first *)
+    Option.iter (fun c -> Splice_cover.Bus_cover.declare c ~bus ~caps) cover;
+    let host =
+      Fun.protect
+        ~finally:(fun () ->
+          Splice_cover.Cover.set_ambient None;
+          Axi.set_cdc None)
+        (fun () ->
+          Splice_cover.Cover.set_ambient cover;
+          (* the CDC sweep dimensions ride on the cache key; connect reads
+             them once, so clearing after Host.create is safe *)
+          Axi.set_cdc
+            (Some
+               {
+                 Axi.ratio = key.Splice_cache.Design_cache.k_ratio;
+                 depth = key.Splice_cache.Design_cache.k_depth;
+               });
+          Host.create ~sched spec
+            ~behaviors:
+              (Specgen.behavior ~calc_cycles:tr.Specgen.t_calc_cycles))
+    in
+    (* post-build attachments join the host's owned signal set so an
+       instance reset restores them along with the design proper *)
+    Host.adopt host (fun () ->
         Bus_monitor.attach (Host.kernel host) ~bus (Host.sis host);
         Option.iter
           (fun c ->
             Splice_cover.Bus_cover.attach c ~bus ~caps (Host.kernel host)
               (Host.sis host))
-          cover;
-        let fail func msg = raise (Call_failed (func, msg, dump_of host msg)) in
-        List.map
-          (fun (c : Specgen.call) ->
-            let f =
-              match Spec.find_func spec c.Specgen.c_func with
-              | Some f -> f
-              | None -> fail (Some c.Specgen.c_func) "unknown function"
-            in
-            let result, cycles =
-              try
-                Host.call ~instance:c.Specgen.c_instance ~max_cycles host
-                  ~func:c.Specgen.c_func ~args:c.Specgen.c_args
-              with
-              | Kernel.Check_failed { cycle; check; message } ->
-                  fail (Some c.Specgen.c_func)
-                    (Printf.sprintf "%s violation at cycle %d: %s" check cycle
-                       message)
-              | Kernel.Timeout { elapsed; waiting_for; _ } ->
-                  fail (Some c.Specgen.c_func)
-                    (Printf.sprintf "timeout after %d cycles waiting for %s"
-                       elapsed waiting_for)
-              | Kernel.Comb_divergence { cycle; iterations } ->
-                  fail (Some c.Specgen.c_func)
-                    (Printf.sprintf
-                       "combinational divergence at cycle %d (%d delta passes)"
-                       cycle iterations)
-            in
-            if cycles <= 0 then
-              fail (Some c.Specgen.c_func) "call consumed no cycles";
-            let expected = Specgen.expected_output f ~args:c.Specgen.c_args in
-            if result <> expected then
+          cover);
+    host
+  in
+  let host, _hit =
+    Splice_cache.Design_cache.with_cache cache ~key ~sched ~build
+  in
+  let run () =
+    let fail func msg = raise (Call_failed (func, msg, dump_of host msg)) in
+    List.map
+      (fun (c : Specgen.call) ->
+        let f =
+          match Spec.find_func spec c.Specgen.c_func with
+          | Some f -> f
+          | None -> fail (Some c.Specgen.c_func) "unknown function"
+        in
+        let result, cycles =
+          try
+            Host.call ~instance:c.Specgen.c_instance ~max_cycles host
+              ~func:c.Specgen.c_func ~args:c.Specgen.c_args
+          with
+          | Kernel.Check_failed { cycle; check; message } ->
               fail (Some c.Specgen.c_func)
-                (Format.asprintf
-                   "golden-model mismatch: got [%a], expected [%a]"
-                   Format.(pp_print_list ~pp_sep:(fun f () -> pp_print_string f "; ")
-                             (fun f v -> pp_print_string f (Int64.to_string v)))
-                   result
-                   Format.(pp_print_list ~pp_sep:(fun f () -> pp_print_string f "; ")
-                             (fun f v -> pp_print_string f (Int64.to_string v)))
-                   expected);
-            (c.Specgen.c_func, cycles))
-          tr.Specgen.t_calls
-      in
-      match run () with
-      | cycles -> Ok cycles
-      | exception Call_failed (func, msg, dump) ->
-          (* an aborted cycle may leave deferred writes queued in the
-             module-global signal store; drop them before the next kernel *)
-          Signal.clear_pending ();
-          Error (func, msg, dump))
+                (Printf.sprintf "%s violation at cycle %d: %s" check cycle
+                   message)
+          | Kernel.Timeout { elapsed; waiting_for; _ } ->
+              fail (Some c.Specgen.c_func)
+                (Printf.sprintf "timeout after %d cycles waiting for %s"
+                   elapsed waiting_for)
+          | Kernel.Comb_divergence { cycle; iterations } ->
+              fail (Some c.Specgen.c_func)
+                (Printf.sprintf
+                   "combinational divergence at cycle %d (%d delta passes)"
+                   cycle iterations)
+        in
+        if cycles <= 0 then
+          fail (Some c.Specgen.c_func) "call consumed no cycles";
+        let expected = Specgen.expected_output f ~args:c.Specgen.c_args in
+        if result <> expected then
+          fail (Some c.Specgen.c_func)
+            (Format.asprintf
+               "golden-model mismatch: got [%a], expected [%a]"
+               Format.(pp_print_list ~pp_sep:(fun f () -> pp_print_string f "; ")
+                         (fun f v -> pp_print_string f (Int64.to_string v)))
+               result
+               Format.(pp_print_list ~pp_sep:(fun f () -> pp_print_string f "; ")
+                         (fun f v -> pp_print_string f (Int64.to_string v)))
+               expected);
+        (c.Specgen.c_func, cycles))
+      tr.Specgen.t_calls
+  in
+  match run () with
+  | cycles -> Ok cycles
+  | exception Call_failed (func, msg, dump) ->
+      (* an aborted cycle may leave deferred writes queued in the
+         domain's signal store; drop this kernel's — and only this
+         kernel's — before the next run (other cached designs may own
+         pending writes of their own) *)
+      Host.retire host;
+      Error (func, msg, dump)
 
-(* One (spec, bus) cell of the matrix: every scheduler, then the E14
+(* One (spec, bus) cell of the matrix: validate and derive traffic once,
+   then every scheduler against one cached design, then the E14
    cycle-count cross-check between them. Returns the calls executed. *)
-let exec_bus ~max_cycles ~iseed ~cover g bus scheds =
+let exec_bus ~max_cycles ~iseed ~cover ~cache g bus scheds =
+  match scheds with
+  | [] -> Ok []
+  | first_sched :: _ -> (
+  match Specgen.validate (Specgen.with_bus g bus) with
+  | Error e ->
+      Error
+        ( first_sched,
+          None,
+          Printf.sprintf "spec does not validate on %s: %s" bus e,
+          None )
+  | Ok spec -> (
+  let tr = traffic_for iseed spec in
+  let caps = Registry.lookup_caps bus in
+  let key =
+    {
+      (* calc_cycles is baked into the stub behaviours at elaboration
+         time, so designs with different calc budgets must not be
+         interchanged; the rest of the traffic replays per run *)
+      Splice_cache.Design_cache.k_tag =
+        "fuzz/calc=" ^ string_of_int tr.Specgen.t_calc_cycles;
+      k_src = Specgen.render g;
+      k_bus = bus;
+      k_ratio = g.Specgen.g_ratio;
+      k_depth = g.Specgen.g_depth;
+      k_monitors = true;
+      k_env =
+        (match cover with
+        | Some c -> Splice_cover.Cover.id c
+        | None -> 0);
+    }
+  in
   let rec go acc = function
     | [] -> Ok (List.rev acc)
     | sched :: rest -> (
-        match exec ~max_cycles ~iseed ~cover g bus sched with
+        match exec ~max_cycles ~cache ~key ~cover ~caps ~spec ~tr bus sched with
         | Ok cycles -> go ((sched, cycles) :: acc) rest
         | Error (func, msg, dump) -> Error (sched, func, msg, dump))
   in
@@ -257,7 +308,7 @@ let exec_bus ~max_cycles ~iseed ~cover g bus scheds =
           (match mismatch with
           | Some (s, f, m) -> Error (s, f, m, None)
           | None -> Ok runs)
-      | [] -> Ok runs)
+      | [] -> Ok runs)))
 
 let repro_command f =
   let cdc =
@@ -287,13 +338,15 @@ let pp_failure fmt f =
 
 (* Greedy structural shrinking: keep taking the first smaller candidate that
    still fails on the same bus, bounded by a predicate-evaluation budget. *)
-let shrink_failure ~max_cycles ~iseed ~bus ~scheds g =
+let shrink_failure ~max_cycles ~iseed ~bus ~scheds ~cache g =
   let budget = ref 200 in
   let fails g' =
     decr budget;
     (* shrinking probes never sample coverage: the map reflects the sweep
-       proper, not the post-hoc bisection *)
-    match exec_bus ~max_cycles ~iseed ~cover:None g' bus scheds with
+       proper, not the post-hoc bisection — and with no per-cell map the
+       probes share the k_env = 0 namespace, so a probe that regenerates
+       an already-cached design replays it *)
+    match exec_bus ~max_cycles ~iseed ~cover:None ~cache g' bus scheds with
     | Ok _ -> None
     | Error (sched, func, msg, dump) -> Some (sched, func, msg, dump)
   in
@@ -439,6 +492,11 @@ let run ?(log = ignore) ?pool config =
     buses;
   let nbuses = List.length buses in
   let buses_arr = Array.of_list buses in
+  let cache_cfg =
+    if config.cache then
+      { Splice_cache.Design_cache.enabled = true; size = config.cache_size }
+    else Splice_cache.Design_cache.disabled
+  in
   let map f arr =
     match pool with
     | None -> Array.map f arr
@@ -455,6 +513,8 @@ let run ?(log = ignore) ?pool config =
   let calls = ref 0 in
   let failure = ref None in
   let iterations = ref 0 in
+  let cache_hits = ref 0 in
+  let cache_misses = ref 0 in
   let digest =
     ref
       (mix
@@ -548,18 +608,31 @@ let run ?(log = ignore) ?pool config =
             let cmap =
               Option.map (fun _ -> Splice_cover.Cover.create ()) agg
             in
-            ( it,
-              iseed,
-              bus,
-              g,
-              cmap,
-              exec_bus ~max_cycles:config.max_cycles ~iseed ~cover:cmap g bus
-                config.scheds ))
+            let delta_from =
+              match Splice_cache.Design_cache.domain_stats () with
+              | Some s ->
+                  (s.Splice_cache.Design_cache.hits, s.Splice_cache.Design_cache.misses)
+              | None -> (0, 0)
+            in
+            let res =
+              exec_bus ~max_cycles:config.max_cycles ~iseed ~cover:cmap
+                ~cache:cache_cfg g bus config.scheds
+            in
+            let cdelta =
+              match Splice_cache.Design_cache.domain_stats () with
+              | Some s ->
+                  ( s.Splice_cache.Design_cache.hits - fst delta_from,
+                    s.Splice_cache.Design_cache.misses - snd delta_from )
+              | None -> (0, 0)
+            in
+            (it, iseed, bus, g, cmap, cdelta, res))
           cells
       in
       Array.iter
-        (fun (it, iseed, bus, g, cmap, res) ->
+        (fun (it, iseed, bus, g, cmap, (dh, dm), res) ->
           if !failure = None then begin
+            cache_hits := !cache_hits + dh;
+            cache_misses := !cache_misses + dm;
             (* the failing cell's partial map merges too — the aggregate
                is the deterministic prefix up to and including it *)
             (match (agg, cmap) with
@@ -580,7 +653,8 @@ let run ?(log = ignore) ?pool config =
             | Error (sched, func, msg, dump) ->
                 let g', (sched', func', msg', dump') =
                   shrink_failure ~max_cycles:config.max_cycles ~iseed ~bus
-                    ~scheds:config.scheds g (sched, func, msg, dump)
+                    ~scheds:config.scheds ~cache:cache_cfg g
+                    (sched, func, msg, dump)
                 in
                 let f =
                   {
@@ -622,4 +696,6 @@ let run ?(log = ignore) ?pool config =
     r_digest = !digest;
     r_cover = agg;
     r_trajectory = List.rev !trajectory;
+    r_cache_hits = !cache_hits;
+    r_cache_misses = !cache_misses;
   }

@@ -50,12 +50,20 @@ type config = {
           letting each iteration draw one — the [--clock-ratio] flag *)
   depth : int option;
       (** pin the CDC FIFO depth (power of two) — the [--fifo-depth] flag *)
+  cache : bool;
+      (** reuse elaborated designs through the per-domain
+          {!Splice_cache.Design_cache}: the three schedulers of each
+          (spec, bus) cell share one elaboration, and identical cells
+          replay it outright. Hits rewind the design to its
+          end-of-elaboration snapshot, so every report field except the
+          hit/miss counters is byte-identical with the cache off. *)
+  cache_size : int;  (** per-domain LRU capacity (entries) *)
 }
 
 val default_config : config
 (** seed 0, count 50, all buses, all three schedulers, 20_000-cycle
     watchdog; coverage off, guidance off (8 candidates, batches of 10 when
-    on). *)
+    on); design cache on at {!Splice_cache.Design_cache.default_size}. *)
 
 type failure = {
   f_iteration : int;
@@ -95,6 +103,13 @@ type report = {
   r_trajectory : (int * int * int) list;
       (** coverage closure per batch: (iterations completed, bins hit,
           bins total), one sample per [guide_batch] iterations *)
+  r_cache_hits : int;
+  r_cache_misses : int;
+      (** summed per-cell deltas of the per-domain design caches. The
+          {e only} report fields that depend on pool scheduling (a
+          cross-cell hit needs the repeat to land on the same domain) —
+          which is why they stay out of [r_digest]. Both 0 with the cache
+          disabled. *)
 }
 
 val run : ?log:(string -> unit) -> ?pool:Splice_par.Pool.t -> config -> report

@@ -102,6 +102,9 @@ module Diff = Splice_check.Diff
 module Cover = Splice_cover.Cover
 module Bus_cover = Splice_cover.Bus_cover
 
+(* content-hashed design cache with instance-reset replay *)
+module Design_cache = Splice_cache.Design_cache
+
 (* observability: metrics, spans, flight recorder, exporters *)
 module Obs = Splice_obs.Obs
 module Metrics = Splice_obs.Metrics

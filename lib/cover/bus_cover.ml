@@ -172,6 +172,15 @@ let attach c ~bus ~caps kernel (sis : Sis_if.t) =
     { in_write = false; in_read = false; prev = ph_idle; seen_prev = false;
       last_fid = 0; seen_grant = false; wcnt = 0; rcnt = 0 }
   in
+  Kernel.at_reset kernel (fun () ->
+      st.in_write <- false;
+      st.in_read <- false;
+      st.prev <- ph_idle;
+      st.seen_prev <- false;
+      st.last_fid <- 0;
+      st.seen_grant <- false;
+      st.wcnt <- 0;
+      st.rcnt <- 0);
   (* a bus whose peripheral side lives in a named slow domain (the AXI
      bridge's "<bus>.pclk") only drives the SIS lines on that domain's
      edges; sampling the ticks in between would count each phase once per

@@ -20,14 +20,23 @@ type point = {
 }
 
 type group = { g_name : string; g_points : (string, point) Hashtbl.t }
-type t = { c_groups : (string, group) Hashtbl.t }
+type t = { c_id : int; c_groups : (string, group) Hashtbl.t }
+
+(* process-unique map identity: what a design cache keys its ambient
+   environment on — two runs against different maps must never share a
+   cached design, because the design samples into the map it was built
+   against *)
+let next_id = Atomic.make 1
 
 type bins =
   | Values of (string * int) list
   | Ranges of (string * int * int) list
   | Transitions of (string * int * int) list
 
-let create () = { c_groups = Hashtbl.create 7 }
+let create () =
+  { c_id = Atomic.fetch_and_add next_id 1; c_groups = Hashtbl.create 7 }
+
+let id t = t.c_id
 
 let group t name =
   match Hashtbl.find_opt t.c_groups name with
@@ -157,6 +166,7 @@ let watch kernel p signal =
   | P_bins ->
       (* listener only marks; the settled view is read once per cycle *)
       let dirty = ref true in
+      Kernel.at_reset kernel (fun () -> dirty := true);
       Signal.on_change signal (fun () -> dirty := true);
       Kernel.on_settle kernel (fun _cycle ->
           if !dirty then begin
@@ -165,6 +175,7 @@ let watch kernel p signal =
           end)
   | P_trans ->
       let prev = ref None in
+      Kernel.at_reset kernel (fun () -> prev := None);
       Kernel.on_settle kernel (fun _cycle ->
           let v = Signal.get_int signal in
           (match !prev with

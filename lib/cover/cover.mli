@@ -31,6 +31,12 @@ type bins =
 
 val create : unit -> t
 
+val id : t -> int
+(** Process-unique identity of the map (never 0). A design cache keys its
+    ambient environment on this: designs built against different maps
+    must never be interchanged, because a cached design keeps sampling
+    into the map it was elaborated under. *)
+
 val group : t -> string -> group
 (** Find or create. *)
 

@@ -91,6 +91,10 @@ let create ?bus () =
   let taps = [| []; [] |] in
   let current_channel = ref 0 in
   let host = Host.create spec ~behaviors:(make_behaviors taps current_channel) in
+  Splice_sim.Kernel.at_reset (Host.kernel host) (fun () ->
+      taps.(0) <- [];
+      taps.(1) <- [];
+      current_channel := 0);
   { host; taps; current_channel }
 
 let host t = t.host

@@ -45,16 +45,17 @@ int interp(ulong n1, int*:n1%s s1, ulong n2, int*:n2%s s2, ulong n3, int*:n3%s s
     (if dma then "^" else "")
     (if dma then "^" else "")
 
+let source_for impl =
+  match impl with
+  | Simple_plb_handcoded | Splice_plb_simple ->
+      spec_src ~bus:"plb" ~burst:false ~dma:false
+  | Optimized_fcb_handcoded | Splice_fcb ->
+      spec_src ~bus:"fcb" ~burst:true ~dma:false
+  | Splice_plb_dma -> spec_src ~bus:"plb" ~burst:false ~dma:true
+
 let spec_for impl =
-  let src =
-    match impl with
-    | Simple_plb_handcoded | Splice_plb_simple ->
-        spec_src ~bus:"plb" ~burst:false ~dma:false
-    | Optimized_fcb_handcoded | Splice_fcb ->
-        spec_src ~bus:"fcb" ~burst:true ~dma:false
-    | Splice_plb_dma -> spec_src ~bus:"plb" ~burst:false ~dma:true
-  in
-  Validate.of_string_exn ~lookup_bus:Splice_buses.Registry.lookup_caps src
+  Validate.of_string_exn ~lookup_bus:Splice_buses.Registry.lookup_caps
+    (source_for impl)
 
 (* ------------------------------------------------------------------ *)
 (* Golden model                                                        *)

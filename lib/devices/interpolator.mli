@@ -28,6 +28,10 @@ val impl_name : impl -> string
 val calc_cycles : int
 (** Fixed calculation latency, identical across implementations. *)
 
+val source_for : impl -> string
+(** The canonical spec source text of [impl]'s interface — what
+    {!spec_for} validates, and what a design cache should key on. *)
+
 val spec_for : impl -> Spec.t
 val reference : (string * int64 list) list -> int64
 (** Golden software model of the interpolation. *)

@@ -53,6 +53,11 @@ let counter_component state =
           state.value <- 0L
         end
         else state.value <- Int64.add state.value 1L)
+    ~reset:(fun () ->
+      state.enabled <- false;
+      state.threshold <- 0L;
+      state.value <- 0L;
+      state.fired <- false)
     "hw_timer_counter"
 
 (* Fig 8.5: per-command behaviours, handshaking with the timer module *)

@@ -152,7 +152,14 @@ let make ?(obs = Obs.none) ?(issue_overhead = 1) ?wait_mode port =
       m_overhead = Metrics.counter m "driver/overhead_cycles";
     }
   in
-  t.comp <- Component.make ~seq:(seq t) ("cpu:" ^ port.Bus_port.bus_name);
+  t.comp <-
+    Component.make ~seq:(seq t)
+      ~reset:(fun () ->
+        t.state <- Idle;
+        t.prog <- [];
+        t.reads <- [];
+        t.polls <- 0)
+      ("cpu:" ^ port.Bus_port.bus_name);
   t
 
 let component t = t.comp

@@ -11,6 +11,10 @@ type t = {
   port : Bus_port.t;
   cpu : Cpu.t;
   lean_driver : bool;
+  mutable signals : Signal.t list;
+      (* every signal the design owns, newest first: the build's creations
+         plus anything adopted afterwards (monitors, cover probes) — the
+         set a design cache snapshots and restores for instance reset *)
 }
 
 let create ?(monitor = true) ?issue_overhead ?(lean_driver = false) ?bus ?obs
@@ -23,17 +27,42 @@ let create ?(monitor = true) ?issue_overhead ?(lean_driver = false) ?bus ?obs
         | Some b -> b
         | None -> failwith (Printf.sprintf "Host.create: unknown bus %S" spec.bus_name))
   in
-  let kernel = Kernel.create ?sched ?obs () in
-  let peripheral = Peripheral.build ~monitor kernel spec ~behaviors in
-  let port = B.connect kernel spec (Peripheral.sis peripheral) in
-  let wait_mode =
-    if spec.Spec.interrupts && B.caps.Bus_caps.supports_interrupts then
-      Some `Irq
-    else None
+  let t0 = Kernel.now_ns () in
+  let (host, created) =
+    Signal.record_created (fun () ->
+        let kernel = Kernel.create ?sched ?obs () in
+        let peripheral = Peripheral.build ~monitor kernel spec ~behaviors in
+        let port = B.connect kernel spec (Peripheral.sis peripheral) in
+        let wait_mode =
+          if spec.Spec.interrupts && B.caps.Bus_caps.supports_interrupts then
+            Some `Irq
+          else None
+        in
+        let cpu =
+          Cpu.make ~obs:(Kernel.obs kernel) ?issue_overhead ?wait_mode port
+        in
+        Kernel.add kernel (Cpu.component cpu);
+        { kernel; spec; peripheral; port; cpu; lean_driver; signals = [] })
   in
-  let cpu = Cpu.make ~obs:(Kernel.obs kernel) ?issue_overhead ?wait_mode port in
-  Kernel.add kernel (Cpu.component cpu);
-  { kernel; spec; peripheral; port; cpu; lean_driver }
+  let owner = Kernel.id host.kernel in
+  Array.iter (fun s -> Signal.set_owner s ~owner) created;
+  host.signals <- List.rev (Array.to_list created);
+  Kernel.note_elaborate_ns host.kernel (Int64.sub (Kernel.now_ns ()) t0);
+  host
+
+(* Extend the design with post-build attachments (protocol monitors, cover
+   probes): their signals join the owned set so instance reset restores
+   them, and the elaboration clock keeps running. *)
+let adopt t f =
+  let t0 = Kernel.now_ns () in
+  let (v, created) = Signal.record_created f in
+  let owner = Kernel.id t.kernel in
+  Array.iter (fun s -> Signal.set_owner s ~owner) created;
+  t.signals <- List.rev_append (Array.to_list created) t.signals;
+  Kernel.note_elaborate_ns t.kernel (Int64.sub (Kernel.now_ns ()) t0);
+  v
+
+let retire t = Signal.clear_pending_for ~owner:(Kernel.id t.kernel)
 
 let plan_for t ~func ~args =
   match Spec.find_func t.spec func with
@@ -90,3 +119,72 @@ let peripheral t = t.peripheral
 let port t = t.port
 let cpu t = t.cpu
 let sis t = Peripheral.sis t.peripheral
+
+(* ------------------------------------------------------------------ *)
+(* Instance reset (design-cache replay)                                *)
+(* ------------------------------------------------------------------ *)
+
+type reuse = {
+  r_signals : Signal.t array; (* creation order, owned set frozen here *)
+  r_values : Splice_bits.Bits.t array; (* their values at end of elaboration *)
+  r_mark : Obs.mark;
+}
+
+let prepare_reuse t =
+  let signals = Array.of_list (List.rev t.signals) in
+  {
+    r_signals = signals;
+    r_values = Array.map Signal.get signals;
+    r_mark = Obs.mark (Kernel.obs t.kernel);
+  }
+
+type compiled_snap = {
+  cs_tape : Tape.t;
+  cs_snap : Tape.snapshot;
+  cs_values : Splice_bits.Bits.t array;
+      (* post-calibration, parallel to [r_signals] *)
+}
+
+let capture_compiled t r =
+  match Kernel.tape t.kernel with
+  | None -> None
+  | Some tape ->
+      Some
+        {
+          cs_tape = tape;
+          cs_snap = Tape.snapshot tape;
+          cs_values = Array.map Signal.get r.r_signals;
+        }
+
+let on_sealed t f = Kernel.set_seal_hook t.kernel (Some f)
+
+(* Rewind the host to its end-of-elaboration state so the next run replays
+   byte-identically to a fresh build. Order matters:
+   + detach the domain recorder first — reset hooks may drive signals, and
+     those writes must not land in the (about-to-be-truncated) ring;
+   + drop this design's leaked pending writes before the hooks re-queue
+     construction-time deferred writes;
+   + [Kernel.reset] restores closure state (per-component [reset] +
+     [at_reset] hooks) and unseals;
+   + then blast the snapshotted signal values over everything the hooks
+     touched — construction-time values win, exactly the state a fresh
+     build hands to its first cycle;
+   + finally rewind the observability context.
+   With [compiled] (and the kernel re-targeted to [`Compiled]), also
+   restore the tape's buffers and re-adopt it, skipping recompilation. *)
+let reset ?sched ?compiled t r =
+  Signal.attach_recorder None;
+  Signal.clear_pending_for ~owner:(Kernel.id t.kernel);
+  Kernel.reset ?sched t.kernel;
+  let values =
+    match compiled with Some cs -> cs.cs_values | None -> r.r_values
+  in
+  Array.iteri
+    (fun i s -> Signal.restore_value s values.(i))
+    r.r_signals;
+  Obs.reset_to_mark (Kernel.obs t.kernel) r.r_mark;
+  match compiled with
+  | None -> ()
+  | Some cs ->
+      Tape.restore cs.cs_tape cs.cs_snap;
+      Kernel.adopt_tape t.kernel cs.cs_tape

@@ -70,3 +70,49 @@ val sis : t -> Sis_if.t
 
 val plan_for :
   t -> func:string -> args:(string * int64 list) list -> Plan.t
+
+(** {1 Instance reset (design-cache replay)}
+
+    A host owns every signal created while it was built ({!create} records
+    them and stamps their owner; {!adopt} extends the set with post-build
+    attachments such as protocol monitors). {!prepare_reuse} snapshots the
+    end-of-elaboration state; {!reset} rewinds the host to it, so a design
+    cache replays a hit by restoring buffers instead of re-elaborating —
+    and the replay's digests, dumps and stats are byte-identical to a
+    fresh build's. *)
+
+val adopt : t -> (unit -> 'a) -> 'a
+(** Run an attachment step (e.g. [Bus_monitor.attach]) with its signal
+    creations recorded into the host's owned set and its wall time counted
+    as elaboration. *)
+
+val retire : t -> unit
+(** Drop deferred writes queued by this design ({e only} this design):
+    scoped teardown after an aborted call, so retiring one host cannot
+    drop pending writes belonging to another design cached in the same
+    domain. *)
+
+type reuse
+(** The end-of-elaboration snapshot: owned signal values plus the
+    observability mark ({!Splice_obs.Obs.mark}). *)
+
+val prepare_reuse : t -> reuse
+(** Take the snapshot. Call once, after {!create} and every {!adopt}, and
+    before the first simulated cycle. *)
+
+type compiled_snap
+(** The [`Compiled] replay fast path: the sealed tape, its buffer snapshot
+    ({!Kernel.tape} + [Tape.snapshot]) and the post-calibration signal
+    values, captured from inside a seal hook. *)
+
+val on_sealed : t -> (unit -> unit) -> unit
+(** One-shot hook after the kernel's next seal ({!Kernel.set_seal_hook});
+    the design cache captures {!capture_compiled} from it. *)
+
+val capture_compiled : t -> reuse -> compiled_snap option
+(** [None] unless the kernel is sealed under [`Compiled]. *)
+
+val reset : ?sched:Kernel.sched -> ?compiled:compiled_snap -> t -> reuse -> unit
+(** Rewind to the {!reuse} snapshot, optionally re-targeting the scheduler.
+    With [compiled] (callers must then pass [~sched:`Compiled]), restore
+    the captured tape instead of letting the first cycle recompile it. *)

@@ -7,9 +7,24 @@ type row = {
   total : int;
 }
 
-(* each implementation cell builds its own host (and so its own kernel and
-   domain-local signals): an independent task for the pool *)
-let measure ?pool () =
+(* the five implementations elaborate once per domain and then replay: the
+   key carries the impl identity (two impls share a spec source but not a
+   bus model) so a hit is always the same design *)
+let interp_key impl =
+  {
+    Splice_cache.Design_cache.k_tag =
+      "eval/interp/" ^ Interpolator.impl_name impl;
+    k_src = Interpolator.source_for impl;
+    k_bus = (Interpolator.spec_for impl).Splice_syntax.Spec.bus_name;
+    k_ratio = (1, 1);
+    k_depth = 0;
+    k_monitors = true;
+    k_env = 0;
+  }
+
+(* each implementation cell builds (or replays) its own host, with its own
+   kernel and domain-local signals: an independent task for the pool *)
+let measure ?pool ?(cache = Splice_cache.Design_cache.default_config) () =
   let map f l =
     match pool with
     | None -> List.map f l
@@ -18,7 +33,11 @@ let measure ?pool () =
   in
   map
     (fun impl ->
-      let host = Interpolator.make_host impl in
+      let host, _hit =
+        Splice_cache.Design_cache.with_cache cache ~key:(interp_key impl)
+          ~sched:`Event
+          ~build:(fun () -> Interpolator.make_host impl)
+      in
       let per_scenario =
         List.map
           (fun s ->
@@ -51,8 +70,11 @@ type detailed_row = {
   row : row;
   breakdowns : (int * breakdown) list;
   obs : Obs.t;
+  kstats : Splice_sim.Kernel.stats;
 }
 
+(* never cached: each row's host is built around its own Obs.t (returned in
+   the detailed_row), and tracing spans are not part of the reset contract *)
 let measure_detailed ?(tracing = false) () =
   List.map
     (fun impl ->
@@ -99,6 +121,7 @@ let measure_detailed ?(tracing = false) () =
         row = { impl; per_scenario; total };
         breakdowns = List.map (fun (id, _, b) -> (id, b)) per;
         obs;
+        kstats = Splice_sim.Kernel.stats (Splice_driver.Host.kernel host);
       })
     Interpolator.all_impls
 
@@ -122,14 +145,35 @@ let breakdown_table drows =
     drows;
   Buffer.contents buf
 
+let build_phase_table drows =
+  let us ns = Int64.to_float ns /. 1e3 in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    "Build-phase accounting (wall time to first runnable cycle)\n";
+  Buffer.add_string buf
+    (Printf.sprintf "%-28s %14s %12s %12s\n" "implementation" "elaborate"
+       "seal" "compile");
+  List.iter
+    (fun d ->
+      let s = d.kstats in
+      Buffer.add_string buf
+        (Printf.sprintf "%-28s %11.1f us %9.1f us %9.1f us\n"
+           (Interpolator.impl_name d.row.impl)
+           (us s.Splice_sim.Kernel.elaborate_ns)
+           (us s.Splice_sim.Kernel.seal_ns)
+           (us s.Splice_sim.Kernel.compile_ns)))
+    drows;
+  Buffer.contents buf
+
 let stats_report drows =
-  String.concat "\n"
-    (List.map
-       (fun d ->
-         Export.stats_report
-           ~label:(Interpolator.impl_name d.row.impl)
-           (Obs.metrics d.obs))
-       drows)
+  build_phase_table drows ^ "\n"
+  ^ String.concat "\n"
+      (List.map
+         (fun d ->
+           Export.stats_report
+             ~label:(Interpolator.impl_name d.row.impl)
+             (Obs.metrics d.obs))
+         drows)
 
 let trace_procs drows =
   List.map

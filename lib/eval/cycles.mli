@@ -9,11 +9,24 @@ type row = {
   total : int;
 }
 
-val measure : ?pool:Splice_par.Pool.t -> unit -> row list
+val interp_key : Interpolator.impl -> Splice_cache.Design_cache.key
+(** The design-cache key of one implementation's host: the spec source
+    plus the implementation name (two implementations share a source but
+    not a bus model, so the tag keeps them distinct). Shared with the E14
+    scheduler ablation so the grids replay each other's elaborations. *)
+
+val measure :
+  ?pool:Splice_par.Pool.t ->
+  ?cache:Splice_cache.Design_cache.config ->
+  unit ->
+  row list
 (** Runs every implementation on every scenario; also cross-checks each
     result against the golden model and raises [Failure] on mismatch.
     [pool] runs the implementation cells (each with its own host and
-    kernel) in parallel; the rows are identical either way. *)
+    kernel) in parallel; the rows are identical either way. [cache]
+    (default on) replays each implementation's elaborated host through the
+    per-domain {!Splice_cache.Design_cache} — rows are byte-identical with
+    it disabled. *)
 
 val cycles_of : row list -> Interpolator.impl -> int
 (** Total cycles across scenarios. Raises [Not_found]. *)
@@ -33,6 +46,10 @@ type detailed_row = {
   obs : Splice_obs.Obs.t;
       (** the context that accumulated the whole implementation's metrics
           (and spans, when tracing) *)
+  kstats : Splice_sim.Kernel.stats;
+      (** the kernel's counters after the measurement — including the
+          build-phase wall times (elaborate/seal/compile ns) the design
+          cache amortizes *)
 }
 
 val measure_detailed : ?tracing:bool -> unit -> detailed_row list
@@ -44,9 +61,14 @@ val measure_detailed : ?tracing:bool -> unit -> detailed_row list
 val breakdown_table : detailed_row list -> string
 (** Per-implementation × scenario table of the per-layer cycle budgets. *)
 
+val build_phase_table : detailed_row list -> string
+(** Per-implementation elaborate/seal/compile wall times
+    ({!Splice_sim.Kernel.stats}) — the costs a design-cache hit skips. *)
+
 val stats_report : detailed_row list -> string
-(** Concatenated {!Splice_obs.Export.stats_report} of every implementation,
-    labelled by implementation name. *)
+(** {!build_phase_table} followed by the concatenated
+    {!Splice_obs.Export.stats_report} of every implementation, labelled by
+    implementation name. *)
 
 val chrome_trace : detailed_row list -> Splice_obs.Json.t
 (** Chrome trace-event JSON: one process per implementation, one thread per

@@ -74,16 +74,28 @@ module Scheduler : sig
   (** Percentage of comb evaluations the compiled op-tape avoided (vs
       sweep). *)
 
-  val interp_point : Splice_devices.Interpolator.impl -> point
-  (** The Fig 9.2 workload (all scenarios) on one implementation. *)
+  val interp_point :
+    ?cache:Splice_cache.Design_cache.config ->
+    Splice_devices.Interpolator.impl ->
+    point
+  (** The Fig 9.2 workload (all scenarios) on one implementation. The
+      scheduler is not part of the design-cache key, so with [cache] on
+      (the default) one elaboration serves all three measurements. *)
 
-  val arbitration_point : int -> point
+  val arbitration_point :
+    ?cache:Splice_cache.Design_cache.config -> int -> point
   (** The E8 workload with [k] functions behind the arbiter. *)
 
-  val run : ?pool:Splice_par.Pool.t -> ?max_functions:int -> unit -> point list
+  val run :
+    ?pool:Splice_par.Pool.t ->
+    ?cache:Splice_cache.Design_cache.config ->
+    ?max_functions:int ->
+    unit ->
+    point list
   (** Every Fig 9.2 implementation plus the E8 sweep up to
       [max_functions]; [pool] runs the cells in parallel with identical
-      results. *)
+      results, and [cache] replays each cell's elaboration across its
+      three scheduler runs (points are identical with it disabled). *)
 
   val table : point list -> string
 end
@@ -183,6 +195,47 @@ module Coverage : sig
   val table : point list -> string
 end
 
+(** E19 — design-cache replay: the fixed-seed differential fuzz sweep run
+    with the per-domain {!Splice_cache.Design_cache} off and on. Two claims
+    at once: the wall-clock win of replaying elaborated designs via
+    instance reset (each (spec, bus) cell elaborates once for its three
+    schedulers instead of three times, and identical cells replay
+    outright), and — the part that must hold on any machine — that both
+    modes produce a bit-identical sweep digest. *)
+module Cache_replay : sig
+  type point = {
+    cache_on : bool;
+    wall_s : float;  (** paired minimum over the repetitions *)
+    calls : int;
+    digest : int64;  (** {!Splice_check.Diff.report.r_digest} *)
+    hits : int;  (** cold-run design-cache hits (0 when off) *)
+    misses : int;
+  }
+
+  val hit_rate : point -> float
+  (** Percent of acquisitions served by replay. *)
+
+  val run :
+    ?pool:Splice_par.Pool.t ->
+    ?reps:int ->
+    ?seed:int ->
+    ?count:int ->
+    ?buses:string list ->
+    unit ->
+    point list
+  (** Defaults: 2 repetitions (modes interleaved, minima kept), seed 42,
+      count 10, buses [plb; apb]. Returns the off point then the on
+      point. *)
+
+  val speedup : point list -> float
+  (** Cache-off wall over cache-on wall. *)
+
+  val deterministic : point list -> bool
+  (** Both modes produced the same digest. *)
+
+  val table : point list -> string
+end
+
 (** E18 — clock-domain-crossing ratio sweep: the same 8-word AXI4-Lite
     workload crossing the Gray-coded FIFO bridge at every (ACLK:PCLK ratio,
     FIFO depth) cell of the design grid, under all three schedulers. Cycle
@@ -204,10 +257,14 @@ module Cdc_sweep : sig
 
   val run :
     ?pool:Splice_par.Pool.t ->
+    ?cache:Splice_cache.Design_cache.config ->
     ?ratios:(int * int) list ->
     ?depths:int list ->
     unit ->
     point list
+  (** [cache] (default on): ratio and depth are design-cache key fields,
+      so each grid cell elaborates once and its other two scheduler runs
+      replay the snapshot. *)
 
   val all_agree : point list -> bool
   val table : point list -> string

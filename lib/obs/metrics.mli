@@ -40,6 +40,19 @@ val add : counter -> int -> unit
 val set : gauge -> int -> unit
 val observe : histogram -> int -> unit
 
+(** {1 Marks (design-cache replay)} *)
+
+type mark
+(** Registry sizes at a point in time (typically end of elaboration). *)
+
+val mark : t -> mark
+
+val reset_to_mark : t -> mark -> unit
+(** Drop every metric registered after [mark] (serialization walks the
+    whole registry, so a replay must not dump a superset of a fresh
+    build's) and zero the rest. Handles obtained before the mark remain
+    valid. *)
+
 (** {1 Reading} *)
 
 val count : counter -> int

@@ -47,3 +47,21 @@ let set_now t cycle =
   match t.recorder with Some r -> Recorder.set_now r cycle | None -> ()
 
 let tracing t = t.enabled && Tracer.enabled t.tracer
+
+(* Design-cache replay: snapshot the registry/intern-table positions at the
+   end of design elaboration, and rewind to them on a cache hit so the
+   replayed run's metrics and dumps are byte-identical to a fresh build's. *)
+type mark = { mk_metrics : Metrics.mark; mk_recorder : int }
+
+let mark t =
+  {
+    mk_metrics = Metrics.mark t.metrics;
+    mk_recorder = (match t.recorder with Some r -> Recorder.mark r | None -> 0);
+  }
+
+let reset_to_mark t m =
+  Metrics.reset_to_mark t.metrics m.mk_metrics;
+  (match t.recorder with
+  | Some r -> Recorder.reset_to_mark r m.mk_recorder
+  | None -> ());
+  t.now <- 0

@@ -51,3 +51,18 @@ val now : t -> int
 
 val set_now : t -> int -> unit
 (** Also forwards the cycle to the flight recorder's event clock. *)
+
+(** {1 Marks (design-cache replay)} *)
+
+type mark
+(** Metrics-registry sizes and recorder intern-table position at a point in
+    time — taken by a host at the end of design elaboration. *)
+
+val mark : t -> mark
+
+val reset_to_mark : t -> mark -> unit
+(** Rewind to the marked state: drop metrics registered after the mark and
+    zero the rest ({!Metrics.reset_to_mark}), forget recorded events and
+    post-mark interned subjects ({!Recorder.reset_to_mark}), and reset the
+    cycle clock — so a cache-hit replay produces metrics and dumps
+    byte-identical to a fresh build's. *)

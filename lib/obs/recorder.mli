@@ -78,6 +78,20 @@ val comp_eval : t -> subject:int -> unit
 val clear : t -> unit
 (** Forget every event (interned subjects survive). *)
 
+val mark : t -> int
+(** Position of the intern table (for {!reset_to_mark}); a host takes the
+    mark at the end of design elaboration. *)
+
+val reset_to_mark : t -> int -> unit
+(** Design-cache replay: forget every event, reset the event clock, drop
+    all subjects interned after [mark] (they re-intern lazily during the
+    replay, in the same first-use order — positional assignment makes the
+    replay's table, and hence its dumps, byte-identical to a fresh
+    build's), and re-{!stamp} the recorder so cached intern ids from the
+    previous run are invalidated. Ids below the mark keep their positions:
+    handles cached during elaboration stay valid. Raises
+    [Invalid_argument] when [mark] exceeds the current table. *)
+
 (** {1 Reading} *)
 
 type event = {

@@ -19,11 +19,15 @@ type t = {
   mutable rec_id : int;
       (* cached flight-recorder intern id (see Signal); lets the kernel
          record Comp_eval events without hashing the component name *)
+  reset : unit -> unit;
+      (* restore closure-held state (refs, mutable records) to its
+         construction-time value; run by [Kernel.reset] so a cached design
+         replays from the exact state a fresh build would start in *)
 }
 
 let nop () = ()
 
-let make ?reads ?state ?comb ?seq name =
+let make ?reads ?state ?comb ?seq ?reset name =
   let sensitivity =
     match (comb, reads) with
     | None, _ -> Reads { signals = []; edge = false }
@@ -44,6 +48,7 @@ let make ?reads ?state ?comb ?seq name =
     reg_gen = 0;
     rec_stamp = 0;
     rec_id = -1;
+    reset = (match reset with Some f -> f | None -> nop);
   }
 
 let name t = t.name

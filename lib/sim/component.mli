@@ -47,6 +47,9 @@ type t = {
   mutable rec_stamp : int;
       (** kernel-owned: flight-recorder stamp validating [rec_id] *)
   mutable rec_id : int;  (** kernel-owned: cached recorder intern id *)
+  reset : unit -> unit;
+      (** restore closure-held state to its construction-time value; run
+          by [Kernel.reset] when a cached design is replayed *)
 }
 
 val make :
@@ -54,12 +57,16 @@ val make :
   ?state:bool ->
   ?comb:(unit -> unit) ->
   ?seq:(unit -> unit) ->
+  ?reset:(unit -> unit) ->
   string ->
   t
 (** Missing callbacks default to no-ops. A component without [comb] is never
     scheduled for combinational evaluation; one with [comb] but no [reads]
     is treated as {!Always} dirty. [state] defaults to [true] iff [seq] is
-    given (see the sensitivity contract above). *)
+    given (see the sensitivity contract above). [reset] (default no-op)
+    must restore every ref and mutable record captured by the callbacks to
+    the exact value it held when [make] returned — the contract that makes
+    {!Kernel.reset} replay equivalent to a fresh build. *)
 
 val name : t -> string
 val sensitivity : t -> sensitivity

@@ -14,9 +14,18 @@ type domain = {
    behave exactly as before *)
 let dom_fires d tick = tick mod d.d_period = d.d_phase
 
+(* wall-clock nanoseconds for build-phase accounting (elaborate/seal/
+   compile); coarse microsecond resolution is plenty for phases that cost
+   tens of microseconds to milliseconds *)
+let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
+
 type t = {
   max_comb_iters : int;
-  sched : sched;
+  mutable sched : sched;
+      (* mutable so a cached design can be re-targeted: the cache resets the
+         kernel and flips the scheduler, and the next seal rebuilds whatever
+         the new scheduler needs (listeners for [`Event], a tape for
+         [`Compiled]) from the restored build-time state *)
   gen : int;
       (* process-unique kernel generation id (from a global atomic counter,
          never 0): components stamp it into [reg_gen] when they register
@@ -51,6 +60,20 @@ type t = {
   mutable n_dirty : int;
   mutable tape : Tape.t option;
       (* the [`Compiled] scheduler's op-tape, (re)built at seal time *)
+  mutable reset_hooks : (unit -> unit) list; (* reversed *)
+      (* design-level reset actions beyond per-component [reset] callbacks:
+         cover watchers, FIFO memories, connect-time side effects a replay
+         must reproduce *)
+  mutable seal_hook : (unit -> unit) option;
+      (* one-shot post-seal callback (cleared before it runs): the design
+         cache uses it to capture the compiled tape + calibrated signal
+         state for the same-scheduler replay fast path *)
+  mutable k_elaborate_ns : int64;
+      (* build-phase accounting, distinct from settle time: elaborate is
+         stamped by the host ([note_elaborate_ns]), seal/compile are
+         accumulated here across (re-)seals *)
+  mutable k_seal_ns : int64;
+  mutable k_compile_ns : int64;
   (* flight recorder (Obs.recorder obs, cached to skip the option chase on
      the hot path) plus interned subject ids for the kernel itself and the
      registered checks *)
@@ -71,6 +94,9 @@ type stats = {
   comb_iters : int;
   comb_evals : int;
   checks_run : int;
+  elaborate_ns : int64;
+  seal_ns : int64;
+  compile_ns : int64;
 }
 
 exception Comb_divergence of { cycle : int; iterations : int }
@@ -130,6 +156,11 @@ let create ?(max_comb_iters = 64) ?(sched = `Event) ?obs () =
     has_always = false;
     n_dirty = 0;
     tape = None;
+    reset_hooks = [];
+    seal_hook = None;
+    k_elaborate_ns = 0L;
+    k_seal_ns = 0L;
+    k_compile_ns = 0L;
     comb_hist =
       Metrics.histogram ~limits:[| 1; 2; 3; 4; 6; 8; 16; 32; 64 |] m
         "sim/comb_iters";
@@ -200,6 +231,7 @@ let mark_dirty t (c : Component.t) =
   end
 
 let seal t =
+  let t0 = now_ns () in
   let comps = Array.of_list (List.rev t.components) in
   t.comps_fwd <- Array.map fst comps;
   t.comp_doms <- Array.map snd comps;
@@ -241,8 +273,25 @@ let seal t =
           end)
     t.comps_fwd;
   t.edge_comps <- Array.of_list (List.rev !edge);
-  if t.sched = `Compiled then t.tape <- Some (Tape.compile t.comps_fwd);
-  t.sealed <- true
+  let compile_delta =
+    if t.sched = `Compiled then begin
+      let c0 = now_ns () in
+      t.tape <- Some (Tape.compile t.comps_fwd);
+      let d = Int64.sub (now_ns ()) c0 in
+      t.k_compile_ns <- Int64.add t.k_compile_ns d;
+      d
+    end
+    else 0L
+  in
+  t.sealed <- true;
+  (* seal time excludes the tape compilation, which is accounted separately *)
+  t.k_seal_ns <-
+    Int64.add t.k_seal_ns (Int64.sub (Int64.sub (now_ns ()) t0) compile_delta);
+  match t.seal_hook with
+  | None -> ()
+  | Some f ->
+      t.seal_hook <- None;
+      f ()
 
 let settle t =
   if not t.sealed then seal t;
@@ -456,6 +505,7 @@ let run_until ?(max = 100_000) ?(what = "condition") t p =
   go ()
 
 let cycles t = t.cycle_count
+let tape t = t.tape
 let id t = t.gen
 let obs t = t.obs
 let sched t = t.sched
@@ -467,4 +517,67 @@ let stats t =
     comb_iters = t.comb_iters_total;
     comb_evals = t.comb_evals_total;
     checks_run = t.checks_run_total;
+    elaborate_ns = t.k_elaborate_ns;
+    seal_ns = t.k_seal_ns;
+    compile_ns = t.k_compile_ns;
   }
+
+let note_elaborate_ns t ns = t.k_elaborate_ns <- Int64.add t.k_elaborate_ns ns
+
+let at_reset t f = t.reset_hooks <- f :: t.reset_hooks
+let set_seal_hook t f = t.seal_hook <- f
+
+(* Instance reset: bring a finished kernel back to the state it had at the
+   end of design elaboration, so the next run replays byte-identically to a
+   fresh build. The caller (the design cache, via the host) restores signal
+   values and observability state around this; [reset] handles everything
+   the kernel itself owns. The kernel is left {e unsealed}: the first cycle
+   of the replay re-seals — re-interning check ids and, under [`Compiled],
+   recompiling the tape from the restored values — exactly the sequence a
+   fresh host executes, which is what makes replay outputs bit-equal.
+   (The compiled fast path skips the recompile via {!adopt_tape}.) *)
+let reset ?sched t =
+  (match sched with Some s -> t.sched <- s | None -> ());
+  t.cycle_count <- 0;
+  List.iter (fun d -> d.d_cycles <- 0) t.domains;
+  t.comb_iters_total <- 0;
+  t.comb_evals_total <- 0;
+  t.checks_run_total <- 0;
+  t.k_elaborate_ns <- 0L;
+  t.k_seal_ns <- 0L;
+  t.k_compile_ns <- 0L;
+  t.seal_hook <- None;
+  (* drop the tape and unseal; clear dirty bookkeeping, then queue every
+     combinational [Reads] component for the first pass — the state a fresh
+     kernel reaches right before its first seal marks them. Components whose
+     listeners are already registered with this kernel (reg_gen = gen) are
+     skipped by the next seal's registration loop, so the marks below stand
+     in for the ones seal would have made. *)
+  t.tape <- None;
+  t.sealed <- false;
+  List.iter (fun ((c : Component.t), _) -> c.Component.dirty <- false) t.components;
+  t.n_dirty <- 0;
+  List.iter
+    (fun ((c : Component.t), _) ->
+      match c.Component.sensitivity with
+      | Component.Reads _ when c.Component.has_comb -> mark_dirty t c
+      | _ -> ())
+    t.components;
+  (* component-local state first, then design-level hooks, both in
+     registration order (the order the build created that state in) *)
+  List.iter (fun ((c : Component.t), _) -> c.Component.reset ()) (List.rev t.components);
+  List.iter (fun f -> f ()) (List.rev t.reset_hooks)
+
+(* The compiled replay fast path: re-adopt a previously compiled tape (its
+   mutable buffers restored via {!Tape.restore}) instead of unsealing. The
+   forward-order arrays from the last seal are still valid — a replay never
+   registers anything new — so only the recorder's check ids need
+   re-interning (the intern table was truncated to the build-time mark). *)
+let adopt_tape t tape =
+  t.tape <- Some tape;
+  t.sealed <- true;
+  match t.rec_ with
+  | Some r ->
+      t.check_ids <-
+        Array.map (fun (name, _) -> Recorder.intern r name) t.checks_fwd
+  | None -> t.check_ids <- [||]

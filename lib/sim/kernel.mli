@@ -85,12 +85,23 @@ type stats = {
   comb_iters : int;
   comb_evals : int;
   checks_run : int;
+  elaborate_ns : int64;
+  seal_ns : int64;
+  compile_ns : int64;
 }
 (** Aggregate kernel counters: cycles simulated, total {e productive} delta
     passes across all cycles (identical across schedulers on an accurately
     declared design), total comb-callback invocations (the work a better
     scheduler saves — this one differs by design), total protocol-check
-    executions. *)
+    executions.
+
+    The [_ns] fields are build-phase wall-clock accounting, distinct from
+    settle time: [elaborate_ns] is the design construction cost stamped by
+    the host ({!note_elaborate_ns}), [seal_ns] the registration-snapshot /
+    listener-wiring cost, [compile_ns] the op-tape compilation cost (only
+    under [`Compiled]). A cache replay reports [elaborate_ns = 0] — the
+    amortized phase — which is what makes cache wins measurable rather
+    than inferred. *)
 
 exception Comb_divergence of { cycle : int; iterations : int }
 
@@ -202,3 +213,48 @@ val check_names : t -> string list
 
 val stats : t -> stats
 (** Kernel-level counters, available without any exporter. *)
+
+val note_elaborate_ns : t -> int64 -> unit
+(** Accumulate design-elaboration wall time into [stats.elaborate_ns];
+    called by the host that timed the build. *)
+
+val now_ns : unit -> int64
+(** The wall clock used for build-phase accounting (nanoseconds; coarse
+    microsecond resolution). Exposed so hosts time elaboration with the
+    same clock seal/compile are timed with. *)
+
+(** {1 Instance reset (design-cache replay)}
+
+    A finished kernel can be brought back to its end-of-elaboration state
+    and re-run: {!reset} rewinds everything the kernel owns (counters,
+    domain clocks, dirty bookkeeping, the seal) and replays the design's
+    construction-time state via per-component [reset] callbacks
+    ({!Component.make}) and kernel-level {!at_reset} hooks. The caller
+    restores signal values and observability state around it. The kernel is
+    left unsealed, so the first replay cycle re-seals — re-interning check
+    ids and recompiling the tape under [`Compiled] — exactly the sequence a
+    fresh build executes; replay outputs are bit-identical to a fresh
+    host's. *)
+
+val reset : ?sched:sched -> t -> unit
+(** Rewind to the end-of-elaboration state; [sched] re-targets the kernel
+    to a different scheduler (the cache's scheduler-switching reuse). *)
+
+val at_reset : t -> (unit -> unit) -> unit
+(** Register a design-level reset action (run after every component's own
+    [reset], in registration order): cover watchers, FIFO memories,
+    connect-time side effects a replay must reproduce. *)
+
+val set_seal_hook : t -> (unit -> unit) option -> unit
+(** Install a one-shot callback invoked right after the next seal completes
+    (cleared before it runs). The design cache uses it to capture the
+    freshly compiled tape and calibrated signal state. *)
+
+val tape : t -> Tape.t option
+(** The compiled op-tape, present while sealed under [`Compiled]. *)
+
+val adopt_tape : t -> Tape.t -> unit
+(** Compiled replay fast path: after {!reset} [~sched:`Compiled] and a
+    {!Tape.restore}, mark the kernel sealed with [tape] instead of letting
+    the first cycle recompile. Only valid when nothing was registered since
+    the seal that produced [tape]. *)

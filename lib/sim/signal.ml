@@ -23,6 +23,11 @@ type t = {
       (* cached compiled-tape slot (same idiom): valid while tape_stamp
          matches the settling tape's stamp, so the tape's touch hook never
          hashes in the steady state *)
+  mutable owner : int;
+      (* id of the kernel whose design this signal belongs to (0 = none);
+         stamped by the host at build time so pending-write cleanup after
+         an aborted call can be scoped to the retiring kernel instead of
+         dropping every queued write in the domain *)
 }
 
 (* The signal store (change counter, deferred-write queue, name counter,
@@ -46,6 +51,9 @@ type store = {
       (* the settling compiled tape's write hook (installed only for the
          duration of a settle): fired on every actual value change so the
          tape can mark reader components dirty without per-signal listeners *)
+  mutable s_created : t list option;
+      (* when [Some], [create] conses every new signal here (newest first) —
+         the host's build-time recording window (see [record_created]) *)
 }
 
 let store_key : store Domain.DLS.key =
@@ -58,6 +66,7 @@ let store_key : store Domain.DLS.key =
         commit_epoch = 0;
         s_recorder = None;
         s_touch = None;
+        s_created = None;
       })
 
 let store () = Domain.DLS.get store_key
@@ -69,18 +78,25 @@ let create ?name width =
   let name =
     match name with Some n -> n | None -> Printf.sprintf "sig%d" st.counter
   in
-  {
-    name;
-    uid = st.uid_counter;
-    width;
-    value = Bits.zero width;
-    listeners = [];
-    commit_stamp = 0;
-    rec_stamp = 0;
-    rec_id = -1;
-    tape_stamp = 0;
-    tape_slot = -1;
-  }
+  let s =
+    {
+      name;
+      uid = st.uid_counter;
+      width;
+      value = Bits.zero width;
+      listeners = [];
+      commit_stamp = 0;
+      rec_stamp = 0;
+      rec_id = -1;
+      tape_stamp = 0;
+      tape_slot = -1;
+      owner = 0;
+    }
+  in
+  (match st.s_created with
+  | None -> ()
+  | Some acc -> st.s_created <- Some (s :: acc));
+  s
 
 let name t = t.name
 let uid t = t.uid
@@ -178,4 +194,43 @@ let commit_pending () =
 
 let clear_pending () = (store ()).s_pending <- []
 
+let clear_pending_for ~owner =
+  let st = store () in
+  match st.s_pending with
+  | [] -> ()
+  | writes -> st.s_pending <- List.filter (fun (s, _) -> s.owner <> owner) writes
+
 let reset_names () = (store ()).counter <- 0
+
+let set_owner t ~owner = t.owner <- owner
+let owner t = t.owner
+
+let record_created f =
+  (* nest-safe: an inner window (a monitor adoption inside a build) sees
+     only its own creations, and the outer window keeps accumulating *)
+  let st = store () in
+  let saved = st.s_created in
+  st.s_created <- Some [];
+  match f () with
+  | v ->
+      let created =
+        match st.s_created with Some l -> l | None -> assert false
+      in
+      (match (saved, created) with
+      | Some outer, l -> st.s_created <- Some (List.rev_append (List.rev l) outer)
+      | None, _ -> st.s_created <- None);
+      (v, Array.of_list (List.rev created))
+  | exception e ->
+      st.s_created <- saved;
+      raise e
+
+let restore_value t v =
+  (* cache-replay restore: bring the signal back to a snapshotted value
+     without firing listeners, the recorder, or the change counter — the
+     kernel is reset around this, so nothing is watching *)
+  if Bits.width v <> t.width then
+    raise
+      (Bits.Width_mismatch
+         (Printf.sprintf "Signal.restore_value %s: %d vs %d" t.name
+            (Bits.width v) t.width));
+  t.value <- v

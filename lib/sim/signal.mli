@@ -98,6 +98,32 @@ val commit_pending : unit -> unit
 val clear_pending : unit -> unit
 (** Drop queued writes (used when tearing a simulation down mid-cycle). *)
 
+val clear_pending_for : owner:int -> unit
+(** Drop only the queued writes to signals stamped with [owner] (see
+    {!set_owner}). A harness retiring one simulation mid-cycle uses this so
+    it cannot drop writes belonging to a cached design that will replay
+    later in the same domain. *)
+
+val set_owner : t -> owner:int -> unit
+(** Stamp the signal as belonging to the design of the kernel with id
+    [owner] (a {!Kernel.id}; 0 = unowned). Hosts stamp every signal they
+    create so teardown can scope {!clear_pending_for}. *)
+
+val owner : t -> int
+
+val record_created : (unit -> 'a) -> 'a * t array
+(** [record_created f] runs [f] and returns its result together with every
+    signal created (in this domain) during the call, in creation order.
+    Nest-safe: an inner window observes only its own creations while the
+    outer window keeps accumulating. Hosts wrap design elaboration in this
+    to learn the signal set they must snapshot for cache replay. *)
+
+val restore_value : t -> Bits.t -> unit
+(** Write a snapshotted value back {e silently}: no listeners, no recorder
+    event, no change-counter bump. Only for cache replay, between a
+    {!Kernel} reset and the next cycle — nothing may be watching. Raises
+    [Bits.Width_mismatch] like {!set}. *)
+
 val reset_names : unit -> unit
 (** Restart the domain-local [sigN] default-name counter. Harnesses that
     build one isolated simulation per task call this first, so default

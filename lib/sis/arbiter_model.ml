@@ -91,4 +91,6 @@ let make ?(obs = Obs.none) ~stubs (sis : Sis_if.t) =
            [ p.data_out; p.data_out_valid; p.io_done; p.calc_done ])
          stubs
   in
-  Component.make ~reads ~state:false ~comb ~seq "arbiter"
+  Component.make ~reads ~state:false ~comb ~seq
+    ~reset:(fun () -> waiting := None)
+    "arbiter"

@@ -8,6 +8,9 @@ type st = {
 
 let attach kernel (sis : Sis_if.t) =
   let st = { write_pending = None; read_pending = None } in
+  Kernel.at_reset kernel (fun () ->
+      st.write_pending <- None;
+      st.read_pending <- None);
   let fail cycle fmt =
     Format.kasprintf
       (fun message ->
@@ -85,6 +88,7 @@ let attach_tracer kernel (sis : Sis_if.t) =
     let reads = Metrics.counter m "sis/reads" in
     (* at most one SIS request is outstanding (§4.2.1), so a single slot *)
     let pending = ref None in
+    Kernel.at_reset kernel (fun () -> pending := None);
     Kernel.on_settle kernel (fun cycle ->
         if Signal.get_bool sis.rst then begin
           match !pending with

@@ -259,7 +259,16 @@ let make ~spec ~func ~instance ~sis ~ports ~behavior =
   t.comp <-
     Component.make
       ~reads:[ sis.Sis_if.func_id; sis.Sis_if.io_enable; sis.Sis_if.data_in_valid ]
-      ~comb:(comb t) ~seq:(seq t) name;
+      ~comb:(comb t) ~seq:(seq t)
+      ~reset:(fun () ->
+        t.received <- [];
+        t.pending_read <- false;
+        t.pending_write <- false;
+        t.completions <- 0;
+        match t.func.Spec.inputs with
+        | [] -> enter_input t 0 []
+        | l -> enter_input t 0 l)
+      name;
   t
 
 let component t = t.comp

@@ -103,4 +103,5 @@ let () =
     @ Test_byref.tests @ Test_structs.tests @ Test_specs_dir.tests
     @ Test_lint.tests @ Test_clint.tests @ Test_engine.tests @ Test_gcc.tests
     @ Test_edge.tests @ Test_obs.tests @ Test_properties.tests
-    @ Test_check.tests @ Test_par.tests @ Test_cover.tests @ Test_cdc.tests)
+    @ Test_check.tests @ Test_par.tests @ Test_cover.tests @ Test_cdc.tests
+    @ Test_cache.tests)
