@@ -175,6 +175,34 @@ let bench_cycles_covered =
            (Splice.Interpolator.run (Lazy.force host)
               (Splice.Interp_scenarios.by_id 1))))
 
+let bench_serve_protocol =
+  (* wire-protocol overhead of the simulation service: parse one fuzz
+     request line and render a reply envelope with its span tree — the
+     per-request cost the daemon adds on top of the simulation itself *)
+  let line =
+    "{\"kind\":\"fuzz\",\"seed\":42,\"count\":3,\"bus\":\"axi\",\
+     \"sched\":\"both\",\"ratio\":\"3:1\"}"
+  in
+  let reply =
+    Splice.Serve_protocol.reply ~req:42 ~kind:"fuzz"
+      ~outcome:Splice.Serve_protocol.Ok_
+      ~fields:[ ("digest", Splice.Json.String "0x0123456789abcdef") ]
+      ~spans:
+        [
+          Splice.Serve_protocol.span "request" 1_000_000
+            ~children:
+              [
+                Splice.Serve_protocol.span "queue_wait" 1_000;
+                Splice.Serve_protocol.span "simulate" 900_000;
+              ];
+        ]
+      ()
+  in
+  Test.make ~name:"serve protocol: parse request + render reply"
+    (Staged.stage (fun () ->
+         ignore (Splice.Serve_protocol.parse_line line);
+         ignore (Splice.Json.to_string reply)))
+
 let bench_stubgen =
   Test.make ~name:"single stub generation (VHDL)"
     (Staged.stage (fun () ->
@@ -196,6 +224,7 @@ let benchmarks =
     bench_cycles_metrics_only;
     bench_cycles_instrumented;
     bench_cycles_covered;
+    bench_serve_protocol;
   ]
 
 (* E16: the recorder-overhead delta, measured paired. Identical-config

@@ -261,7 +261,24 @@ let eval_cmd =
              BENCH_openmetrics.txt — lets CI scrape cycle counts and comb \
              evaluations as trend series.")
   in
-  let run stats trace openmetrics jobs =
+  let digest =
+    Arg.(
+      value & flag
+      & info [ "digest" ]
+          ~doc:
+            "Print only the deterministic digest of the Fig 9.2 measurement \
+             rows (a splitmix64 fold of implementation names and \
+             per-scenario cycle counts). A simulation-service $(b,eval) \
+             request reports the same value, so daemon-vs-CLI agreement is \
+             a string comparison.")
+  in
+  let run digest stats trace openmetrics jobs =
+    if digest then
+      with_jobs jobs (fun pool ->
+          let rows = Splice.Cycles.measure ?pool () in
+          Printf.printf "0x%016Lx\n" (Splice.Cycles.digest rows);
+          0)
+    else begin
     with_jobs jobs (fun pool ->
         print_string (Splice.Tables.everything ?pool ()));
     match (stats, trace, openmetrics) with
@@ -294,14 +311,25 @@ let eval_cmd =
                 (fun (r : Splice.Cycles.detailed_row) ->
                   Splice.Obs.merge ~into:agg r.Splice.Cycles.obs)
                 drows;
+              let m = Splice.Obs.metrics agg in
+              (* the measurement ran on this domain, so its design-cache
+                 hit/miss counters are part of the exposition too *)
+              Splice.Design_cache.metrics_into m;
               Splice.Export.write_file path
-                (Splice.Openmetrics.of_metrics (Splice.Obs.metrics agg));
+                (Splice.Openmetrics.of_metrics_body m
+                ^ Splice.Openmetrics.family ~name:"build_info" ~typ:`Gauge
+                    [
+                      ( [ ("version", Splice.version) ],
+                        Splice.Openmetrics.Int 1 );
+                    ]
+                ^ Splice.Openmetrics.eof);
               Printf.printf "wrote OpenMetrics exposition to %s\n" path)
             openmetrics;
           0
         with Sys_error msg ->
           Printf.eprintf "error: %s\n" msg;
           1)
+    end
   in
   Cmd.v
     (Cmd.info "eval"
@@ -310,7 +338,7 @@ let eval_cmd =
           With $(b,--stats), $(b,--trace) and/or $(b,--openmetrics), \
           additionally re-run the Fig 9.2 measurement with the \
           observability layer attached and export the results.")
-    Term.(const run $ stats $ trace $ openmetrics $ jobs_arg)
+    Term.(const run $ digest $ stats $ trace $ openmetrics $ jobs_arg)
 
 let fuzz_cmd =
   let seed =
@@ -856,6 +884,132 @@ let cover_cmd =
           protocol-phase coverage floor.")
     Term.(const run $ map_arg $ json $ openm $ fail_under)
 
+let serve_cmd =
+  let host =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"ADDR" ~doc:"Address to listen on.")
+  in
+  let port =
+    Arg.(
+      value & opt int 7777
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"TCP port (0 picks an ephemeral one, printed at startup).")
+  in
+  let queue_limit =
+    Arg.(
+      value & opt int 16
+      & info [ "queue-limit" ] ~docv:"N"
+          ~doc:
+            "Requests allowed to wait for an executor; beyond it the \
+             daemon sheds load with an $(i,overloaded) reply instead of \
+             buffering.")
+  in
+  let dump_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dump-dir" ] ~docv:"DIR"
+          ~doc:
+            "Persist the flight-recorder dump of every failing request \
+             here as req-NNNNNN-dump.json (the reply echoes the path), \
+             ready for $(b,splice trace).")
+  in
+  let run host port queue_limit dump_dir jobs =
+    let jobs = if jobs = 0 then Domain.recommended_domain_count () else jobs in
+    let config =
+      { Splice.Serve.default_config with host; port; jobs; queue_limit; dump_dir }
+    in
+    match Splice.Serve.create ~config () with
+    | exception Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "error: cannot listen on %s:%d: %s\n" host port
+          (Unix.error_message e);
+        1
+    | t ->
+        let stop _ = Splice.Serve.stop t in
+        (try
+           Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+           Sys.set_signal Sys.sigterm (Sys.Signal_handle stop)
+         with Invalid_argument _ -> ());
+        Printf.printf "splice serve: listening on %s:%d (jobs %d, queue limit %d)\n%!"
+          host (Splice.Serve.port t) jobs queue_limit;
+        Splice.Serve.serve t;
+        Printf.printf "splice serve: drained %d requests, bye\n"
+          (Splice.Serve.served t);
+        0
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the simulation service: line-delimited JSON requests \
+          (spec/eval/fuzz/trace) over TCP, plus HTTP GET /metrics, /healthz \
+          and /stats on the same port. Requests shard across $(b,--jobs) \
+          worker domains behind a bounded queue; results are byte-identical \
+          to the equivalent CLI invocation at any $(b,-j).")
+    Term.(const run $ host $ port $ queue_limit $ dump_dir $ jobs_arg)
+
+let client_cmd =
+  let host =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"ADDR" ~doc:"Daemon address.")
+  in
+  let port =
+    Arg.(
+      value & opt int 7777 & info [ "port" ] ~docv:"PORT" ~doc:"Daemon port.")
+  in
+  let requests =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"REQUEST"
+          ~doc:
+            "JSON request lines, sent in order on one connection (read \
+             from stdin when none are given).")
+  in
+  let run host port requests =
+    let requests =
+      if requests <> [] then requests
+      else
+        let rec slurp acc =
+          match input_line stdin with
+          | line -> slurp (if String.trim line = "" then acc else line :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        slurp []
+    in
+    match Splice.Serve_client.connect ~host ~port () with
+    | exception Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "error: cannot connect to %s:%d: %s\n" host port
+          (Unix.error_message e);
+        1
+    | c ->
+        Fun.protect
+          ~finally:(fun () -> Splice.Serve_client.close c)
+          (fun () ->
+            List.fold_left
+              (fun rc line ->
+                match Splice.Serve_client.request_line c line with
+                | Error e ->
+                    Printf.eprintf "error: %s\n" e;
+                    1
+                | Ok reply ->
+                    print_endline (Splice.Json.to_string reply);
+                    let ok =
+                      match Splice.Json.member "ok" reply with
+                      | Some (Splice.Json.Bool true) -> true
+                      | _ -> false
+                    in
+                    if ok then rc else 1)
+              0 requests)
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send requests to a running $(b,splice serve) daemon and print one \
+          reply line per request. Exits non-zero when any reply has \
+          ok=false.")
+    Term.(const run $ host $ port $ requests)
+
 let () =
   let info =
     Cmd.info "splice" ~version:Splice.version
@@ -865,4 +1019,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ check_cmd; gen_cmd; plan_cmd; buses_cmd; markers_cmd; lint_cmd;
-            eval_cmd; fuzz_cmd; trace_cmd; cover_cmd ]))
+            eval_cmd; fuzz_cmd; trace_cmd; cover_cmd; serve_cmd; client_cmd ]))

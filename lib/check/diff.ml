@@ -64,7 +64,22 @@ type report = {
          everything else in the report these are scheduling-dependent
          (a cross-cell hit needs the repeat to land on the same domain),
          which is why they are not folded into [r_digest]. *)
+  r_build_ns : int;
+  r_sim_ns : int;
+      (* wall time the grid cells spent acquiring designs (elaboration,
+         or a cache-hit rewind) vs executing calls — the elaborate /
+         simulate split a service surfaces as per-request spans. Wall
+         clock, so like the cache counters these never join [r_digest]. *)
 }
+
+(* Per-domain phase accumulators, bumped by [exec] and read as deltas
+   around each grid task — the same DLS-delta pattern as the cache
+   counters above, and safe for the same reason: one task at a time per
+   domain. *)
+let phase_ns : (int ref * int ref) Splice_par.Dls.t =
+  Splice_par.Dls.make (fun () -> (ref 0, ref 0))
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
 
 let sched_name = function
   | `Event -> "event"
@@ -182,9 +197,13 @@ let exec ~max_cycles ~cache ~key ~cover ~caps ~spec ~tr bus sched =
           cover);
     host
   in
+  let build_ns, sim_ns = Splice_par.Dls.get phase_ns in
+  let t_build = now_ns () in
   let host, _hit =
     Splice_cache.Design_cache.with_cache cache ~key ~sched ~build
   in
+  let t_run = now_ns () in
+  build_ns := !build_ns + (t_run - t_build);
   let run () =
     let fail func msg = raise (Call_failed (func, msg, dump_of host msg)) in
     List.map
@@ -229,15 +248,19 @@ let exec ~max_cycles ~cache ~key ~cover ~caps ~spec ~tr bus sched =
         (c.Specgen.c_func, cycles))
       tr.Specgen.t_calls
   in
+  let finish r =
+    sim_ns := !sim_ns + (now_ns () - t_run);
+    r
+  in
   match run () with
-  | cycles -> Ok cycles
+  | cycles -> finish (Ok cycles)
   | exception Call_failed (func, msg, dump) ->
       (* an aborted cycle may leave deferred writes queued in the
          domain's signal store; drop this kernel's — and only this
          kernel's — before the next run (other cached designs may own
          pending writes of their own) *)
       Host.retire host;
-      Error (func, msg, dump)
+      finish (Error (func, msg, dump))
 
 (* One (spec, bus) cell of the matrix: validate and derive traffic once,
    then every scheduler against one cached design, then the E14
@@ -515,6 +538,8 @@ let run ?(log = ignore) ?pool config =
   let iterations = ref 0 in
   let cache_hits = ref 0 in
   let cache_misses = ref 0 in
+  let build_ns = ref 0 in
+  let sim_ns = ref 0 in
   let digest =
     ref
       (mix
@@ -614,6 +639,8 @@ let run ?(log = ignore) ?pool config =
                   (s.Splice_cache.Design_cache.hits, s.Splice_cache.Design_cache.misses)
               | None -> (0, 0)
             in
+            let pb, ps = Splice_par.Dls.get phase_ns in
+            let pb0 = !pb and ps0 = !ps in
             let res =
               exec_bus ~max_cycles:config.max_cycles ~iseed ~cover:cmap
                 ~cache:cache_cfg g bus config.scheds
@@ -625,14 +652,16 @@ let run ?(log = ignore) ?pool config =
                     s.Splice_cache.Design_cache.misses - snd delta_from )
               | None -> (0, 0)
             in
-            (it, iseed, bus, g, cmap, cdelta, res))
+            (it, iseed, bus, g, cmap, cdelta, (!pb - pb0, !ps - ps0), res))
           cells
       in
       Array.iter
-        (fun (it, iseed, bus, g, cmap, (dh, dm), res) ->
+        (fun (it, iseed, bus, g, cmap, (dh, dm), (db, ds), res) ->
           if !failure = None then begin
             cache_hits := !cache_hits + dh;
             cache_misses := !cache_misses + dm;
+            build_ns := !build_ns + db;
+            sim_ns := !sim_ns + ds;
             (* the failing cell's partial map merges too — the aggregate
                is the deterministic prefix up to and including it *)
             (match (agg, cmap) with
@@ -698,4 +727,6 @@ let run ?(log = ignore) ?pool config =
     r_trajectory = List.rev !trajectory;
     r_cache_hits = !cache_hits;
     r_cache_misses = !cache_misses;
+    r_build_ns = !build_ns;
+    r_sim_ns = !sim_ns;
   }

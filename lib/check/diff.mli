@@ -105,11 +105,20 @@ type report = {
           bins total), one sample per [guide_batch] iterations *)
   r_cache_hits : int;
   r_cache_misses : int;
-      (** summed per-cell deltas of the per-domain design caches. The
-          {e only} report fields that depend on pool scheduling (a
+      (** summed per-cell deltas of the per-domain design caches. Like
+          [r_build_ns]/[r_sim_ns] these depend on pool scheduling (a
           cross-cell hit needs the repeat to land on the same domain) —
           which is why they stay out of [r_digest]. Both 0 with the cache
           disabled. *)
+  r_build_ns : int;
+      (** wall nanoseconds the grid cells spent acquiring designs —
+          elaboration on a cache miss, the instance-reset rewind on a
+          hit. Wall clock (machine- and scheduling-dependent), never part
+          of [r_digest]; the simulation service reports it as each fuzz
+          request's [elaborate] span. *)
+  r_sim_ns : int;
+      (** wall nanoseconds the grid cells spent executing calls — the
+          [simulate] span of a service request. *)
 }
 
 val run : ?log:(string -> unit) -> ?pool:Splice_par.Pool.t -> config -> report

@@ -115,6 +115,11 @@ module Openmetrics = Splice_obs.Openmetrics
 module Json = Splice_obs.Json
 module Export = Splice_obs.Export
 
+(* simulation service: TCP daemon + wire protocol + client *)
+module Serve = Splice_serve.Server
+module Serve_protocol = Splice_serve.Protocol
+module Serve_client = Splice_serve.Client
+
 (* resources + devices + evaluation (Chs 8-9) *)
 module Resources = Splice_resources.Model
 module Resource_report = Splice_resources.Report

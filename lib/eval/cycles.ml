@@ -66,6 +66,29 @@ type breakdown = { calc : int; bus : int; driver : int; idle : int }
 
 let breakdown_total b = b.calc + b.bus + b.driver + b.idle
 
+(* Deterministic fold over the Fig 9.2 rows (implementation names and
+   per-scenario cycle counts in canonical order) — the same splitmix64
+   mixing discipline as [Diff.r_digest]. The CLI prints it under
+   [eval --digest] and the simulation service returns it from every eval
+   request, so daemon-vs-CLI equality is a one-line CI check. *)
+let digest rows =
+  let mix acc v =
+    Splice_par.Splitmix.mix64
+      (Int64.add (Int64.mul acc 0x9E3779B97F4A7C15L) v)
+  in
+  let mix_string acc s =
+    String.fold_left (fun a c -> mix a (Int64.of_int (Char.code c))) acc s
+  in
+  List.fold_left
+    (fun acc r ->
+      let acc = mix_string acc (Interpolator.impl_name r.impl) in
+      List.fold_left
+        (fun acc (sc, cy) ->
+          mix (mix acc (Int64.of_int sc)) (Int64.of_int cy))
+        acc r.per_scenario)
+    (mix 0x53504C4943455F45L (* "SPLICE_E" *) (Int64.of_int (List.length rows)))
+    rows
+
 type detailed_row = {
   row : row;
   breakdowns : (int * breakdown) list;

@@ -31,6 +31,12 @@ val measure :
 val cycles_of : row list -> Interpolator.impl -> int
 (** Total cycles across scenarios. Raises [Not_found]. *)
 
+val digest : row list -> int64
+(** Deterministic splitmix64 fold of the rows (implementation names,
+    per-scenario cycle counts, in order) — printed by [splice eval
+    --digest] and returned by the simulation service's eval requests, so
+    daemon-vs-CLI agreement is a string comparison. *)
+
 type breakdown = { calc : int; bus : int; driver : int; idle : int }
 (** Per-layer cycle budget for one scenario run: stub computation, bus
     transactions in flight, driver issue/stall, and idle cycles. Each

@@ -203,3 +203,13 @@ let reset_to_mark t m =
   t.gauges <- keep m.m_gauges t.gauges;
   t.histograms <- keep m.m_histograms t.histograms;
   reset t
+
+(* Live-scrape composition: a service holds several registries (its own
+   request series, per-request sim aggregates) and a scrape wants one
+   exposition — fold them into a fresh registry without touching any
+   source. Same commutative rules as [merge_into], so the snapshot is a
+   pure function of the inputs. *)
+let merged rs =
+  let t = create () in
+  List.iter (fun r -> merge_into ~into:t r) rs;
+  t

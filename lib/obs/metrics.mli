@@ -106,3 +106,8 @@ val merge_into : into:t -> t -> unit
     aggregate at any worker count and in any completion order. Raises
     [Invalid_argument] when two histograms of the same name have
     different bucket limits. [src] is not modified. *)
+
+val merged : t list -> t
+(** A fresh registry holding the {!merge_into} fold of every input, none
+    of which is modified — the one-shot composition a live [/metrics]
+    scrape wants over a service's registries. *)

@@ -3,7 +3,12 @@
    with stock tooling. One metric family per registered metric:
    counters end in `_total`, histograms expose cumulative `_bucket{le=…}`
    series plus `_count`/`_sum`, and the exposition ends with `# EOF` as
-   the OpenMetrics spec requires. *)
+   the OpenMetrics spec requires.
+
+   Label values are escaped per the OpenMetrics ABNF (backslash, double
+   quote and line feed become backslash-escaped sequences) — a bus or
+   spec name with a quote in it must not be able to break the
+   exposition's line grammar. *)
 
 type hist = {
   om_limits : int array;  (* upper bounds, excluding +Inf *)
@@ -11,6 +16,9 @@ type hist = {
   om_sum : int;
   om_count : int;
 }
+
+type value = Int of int | Float of float
+type label = string * string
 
 (* Metric names must match [a-zA-Z_:][a-zA-Z0-9_:]*; the registry's
    slash-separated paths map onto underscores under a fixed prefix. *)
@@ -25,39 +33,93 @@ let sanitize name =
     name;
   Buffer.contents b
 
-let render ~counters ~gauges ~histograms =
-  let b = Buffer.create 1024 in
-  let family name typ = Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name typ) in
+let escape_label_value s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let labels = function
+  | [] -> ""
+  | ls ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) ->
+               Printf.sprintf "%s=\"%s\"" k (escape_label_value v))
+             ls)
+      ^ "}"
+
+let value_string = function
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%.6g" f
+
+let eof = "# EOF\n"
+
+let typ_name = function `Counter -> "counter" | `Gauge -> "gauge"
+
+let add_family b ~name ~typ series =
+  let name = sanitize name in
+  Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name (typ_name typ));
+  let suffix = match typ with `Counter -> "_total" | `Gauge -> "" in
   List.iter
-    (fun (name, v) ->
-      let name = sanitize name in
-      family name "counter";
-      Buffer.add_string b (Printf.sprintf "%s_total %d\n" name v))
+    (fun (ls, v) ->
+      Buffer.add_string b
+        (Printf.sprintf "%s%s%s %s\n" name suffix (labels ls) (value_string v)))
+    series
+
+let family ~name ~typ series =
+  let b = Buffer.create 256 in
+  add_family b ~name ~typ series;
+  Buffer.contents b
+
+let add_hist_series b name ls h =
+  let le extra = labels (ls @ extra) in
+  let cum = ref 0 in
+  Array.iteri
+    (fun i limit ->
+      cum := !cum + (if i < Array.length h.om_buckets then h.om_buckets.(i) else 0);
+      Buffer.add_string b
+        (Printf.sprintf "%s_bucket%s %d\n" name
+           (le [ ("le", string_of_int limit) ])
+           !cum))
+    h.om_limits;
+  Buffer.add_string b
+    (Printf.sprintf "%s_bucket%s %d\n" name (le [ ("le", "+Inf") ]) h.om_count);
+  Buffer.add_string b (Printf.sprintf "%s_count%s %d\n" name (labels ls) h.om_count);
+  Buffer.add_string b (Printf.sprintf "%s_sum%s %d\n" name (labels ls) h.om_sum)
+
+let hist_family ~name series =
+  let name = sanitize name in
+  let b = Buffer.create 512 in
+  Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" name);
+  List.iter (fun (ls, h) -> add_hist_series b name ls h) series;
+  Buffer.contents b
+
+let render_body ~counters ~gauges ~histograms =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (name, v) -> add_family b ~name ~typ:`Counter [ ([], Int v) ])
     counters;
   List.iter
-    (fun (name, v) ->
-      let name = sanitize name in
-      family name "gauge";
-      Buffer.add_string b (Printf.sprintf "%s %d\n" name v))
+    (fun (name, v) -> add_family b ~name ~typ:`Gauge [ ([], Int v) ])
     gauges;
   List.iter
     (fun (name, h) ->
       let name = sanitize name in
-      family name "histogram";
-      let cum = ref 0 in
-      Array.iteri
-        (fun i limit ->
-          cum := !cum + (if i < Array.length h.om_buckets then h.om_buckets.(i) else 0);
-          Buffer.add_string b
-            (Printf.sprintf "%s_bucket{le=\"%d\"} %d\n" name limit !cum))
-        h.om_limits;
-      Buffer.add_string b
-        (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" name h.om_count);
-      Buffer.add_string b (Printf.sprintf "%s_count %d\n" name h.om_count);
-      Buffer.add_string b (Printf.sprintf "%s_sum %d\n" name h.om_sum))
+      Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" name);
+      add_hist_series b name [] h)
     histograms;
-  Buffer.add_string b "# EOF\n";
   Buffer.contents b
+
+let render ~counters ~gauges ~histograms =
+  render_body ~counters ~gauges ~histograms ^ eof
 
 let hist_of_metrics h =
   let limits, overflow =
@@ -75,8 +137,8 @@ let hist_of_metrics h =
     om_count = Metrics.observations h;
   }
 
-let of_metrics m =
-  render
+let of_metrics_body m =
+  render_body
     ~counters:
       (List.map
          (fun c -> (Metrics.counter_name c, Metrics.count c))
@@ -87,3 +149,5 @@ let of_metrics m =
       (List.map
          (fun h -> (Metrics.histogram_name h, hist_of_metrics h))
          (Metrics.histograms m))
+
+let of_metrics m = of_metrics_body m ^ eof

@@ -42,6 +42,19 @@ val submit : t -> (unit -> unit) -> unit
     really wanted. Raises [Invalid_argument] on a sequential or
     shut-down pool. *)
 
+val queued : t -> int
+(** Tasks enqueued (via {!submit} / {!try_submit}) and not yet taken by a
+    worker. A point-in-time reading; only bounds enforced by
+    {!try_submit} are reliable. *)
+
+val try_submit : t -> limit:int -> (unit -> unit) -> bool
+(** Bounded {!submit}: enqueue and return [true] only when fewer than
+    [limit] tasks are already waiting — the check and the enqueue are one
+    atomic step, so the queue never exceeds [limit]. [false] means the
+    caller must shed load (reply "overloaded", retry later) rather than
+    buffer unboundedly. Raises like {!submit} on sequential or shut-down
+    pools, and [Invalid_argument] on a negative [limit]. *)
+
 val map_ordered : t -> ('a -> 'b) -> 'a array -> 'b array
 (** [map_ordered p f arr]: [Array.map f arr], computed by [size p]
     domains, results in input order. Blocks until every element is

@@ -1,0 +1,23 @@
+(** Blocking client for the simulation service — the other end of
+    {!Protocol}. One TCP connection carries any number of requests;
+    replies come back in order. *)
+
+type conn
+
+val connect : ?host:string -> port:int -> unit -> conn
+(** Raises [Unix.Unix_error] when the daemon is not there. *)
+
+val close : conn -> unit
+
+val send_line : conn -> string -> unit
+val recv_line : ?max:int -> conn -> (string, string) result
+
+val request : conn -> Splice_obs.Json.t -> (Splice_obs.Json.t, string) result
+(** Send one request object, read and parse its reply line. *)
+
+val request_line : conn -> string -> (Splice_obs.Json.t, string) result
+(** {!request} with a raw line — lets tests send malformed payloads. *)
+
+val http_get :
+  ?host:string -> port:int -> string -> (int * string, string) result
+(** One-shot HTTP GET against the daemon's port: [(status, body)]. *)
